@@ -1,0 +1,55 @@
+//! Anytime-query cost: the O(1) cached read (all methods) vs the O(m)
+//! fresh recomputation (CSE/vHLL) — the asymmetry behind the paper's
+//! Challenge 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freesketch::{CardinalityEstimator, Cse, FreeBS, VHll};
+use std::hint::black_box;
+
+fn warm<E: CardinalityEstimator>(est: &mut E) {
+    let mut g = hashkit::SplitMix64::new(3);
+    for _ in 0..50_000 {
+        est.process(g.next_below(256), g.next_u64());
+    }
+}
+
+fn bench_cached_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate/cached");
+    group.sample_size(20);
+
+    let mut fbs = FreeBS::new(1 << 20, 1);
+    warm(&mut fbs);
+    group.bench_function("FreeBS", |b| {
+        b.iter(|| black_box(fbs.estimate(black_box(17))));
+    });
+
+    let mut cse = Cse::new(1 << 20, 1024, 1);
+    warm(&mut cse);
+    group.bench_function("CSE", |b| {
+        b.iter(|| black_box(cse.estimate(black_box(17))));
+    });
+    group.finish();
+}
+
+fn bench_fresh_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate/fresh");
+    group.sample_size(20);
+
+    for m in [256usize, 1024, 4096] {
+        let mut cse = Cse::new(1 << 20, m, 1);
+        warm(&mut cse);
+        group.bench_with_input(BenchmarkId::new("CSE", m), &m, |b, _| {
+            b.iter(|| black_box(cse.estimate_fresh(black_box(17))));
+        });
+
+        let mut vhll = VHll::new((1 << 20) / 5, m, 1);
+        warm(&mut vhll);
+        group.bench_with_input(BenchmarkId::new("vHLL", m), &m, |b, _| {
+            b.iter(|| black_box(vhll.estimate_fresh(black_box(17))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cached_read, bench_fresh_scan);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Hashing substrate micro-benchmarks: the per-edge cost floor of every
+//! estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hashkit::{mix64_pair, splitmix64, xxhash64, EdgeHasher, HashFamily};
+use std::hint::black_box;
+
+fn bench_mixers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash/mixers");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(20);
+
+    group.bench_function("splitmix64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(splitmix64(black_box(x)))
+        });
+    });
+    group.bench_function("mix64_pair", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(mix64_pair(7, black_box(x), black_box(!x)))
+        });
+    });
+    group.bench_function("xxhash64_16B", |b| {
+        let data = [0xABu8; 16];
+        b.iter(|| black_box(xxhash64(7, black_box(&data))));
+    });
+    group.bench_function("xxhash64_256B", |b| {
+        let data = [0xABu8; 256];
+        b.iter(|| black_box(xxhash64(7, black_box(&data))));
+    });
+    group.finish();
+}
+
+fn bench_edge_hasher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash/edge");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(20);
+
+    let h = EdgeHasher::new(42);
+    group.bench_function("slot", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x += 1;
+            black_box(h.slot(black_box(x), black_box(!x), 1 << 20))
+        });
+    });
+    group.bench_function("slot_and_rank", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x += 1;
+            black_box(h.slot_and_rank(black_box(x), black_box(!x), 1 << 20))
+        });
+    });
+
+    let fam = HashFamily::new(42, 1024, 1 << 20);
+    group.bench_function("family_single_cell", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x += 1;
+            black_box(fam.cell(black_box(x), 511))
+        });
+    });
+    group.bench_function("family_all_1024_cells", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for cell in fam.cells(black_box(99)) {
+                acc ^= cell;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixers, bench_edge_hasher);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Substrate micro-benchmarks: bit array and packed-register operations on
+//! the per-edge hot path.
+
+use bitpack::{AtomicBitArray, BitArray, PackedArray};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_bitarray(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitpack/bitarray");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(20);
+
+    group.bench_function("set", |b| {
+        let mut arr = BitArray::new(1 << 22);
+        let mut g = hashkit::SplitMix64::new(1);
+        b.iter(|| {
+            let i = g.next_below(1 << 22) as usize;
+            black_box(arr.set(black_box(i)))
+        });
+    });
+    group.bench_function("atomic_set", |b| {
+        let arr = AtomicBitArray::new(1 << 22);
+        let mut g = hashkit::SplitMix64::new(1);
+        b.iter(|| {
+            let i = g.next_below(1 << 22) as usize;
+            black_box(arr.set(black_box(i)))
+        });
+    });
+    group.bench_function("zeros_read", |b| {
+        let arr = BitArray::new(1 << 22);
+        b.iter(|| black_box(arr.zeros()));
+    });
+    group.finish();
+}
+
+fn bench_packed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitpack/packed");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(20);
+
+    for width in [5u8, 6] {
+        let mut arr = PackedArray::new(1 << 20, width);
+        let mut g = hashkit::SplitMix64::new(2);
+        group.bench_function(format!("store_max_w{width}"), |b| {
+            b.iter(|| {
+                let i = g.next_below(1 << 20) as usize;
+                let v = (g.next_u64() % 31) as u16;
+                black_box(arr.store_max(black_box(i), black_box(v)))
+            });
+        });
+    }
+    group.bench_function("sum_pow2_neg_4096", |b| {
+        let mut arr = PackedArray::new(4096, 5);
+        let mut g = hashkit::SplitMix64::new(3);
+        for i in 0..4096 {
+            arr.store(i, (g.next_u64() % 32) as u16);
+        }
+        b.iter(|| black_box(arr.sum_pow2_neg()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitarray, bench_packed);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion companion to Fig. 3: per-edge update cost of all six methods.
+//!
+//! Two groups:
+//! * `update/o1` — the O(1) methods (FreeBS, FreeRS) at a fixed budget;
+//! * `update/om` — the O(m) methods (CSE, vHLL, LPC, HLL++) swept over m,
+//!   demonstrating the linear growth the paper reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use freesketch::{CardinalityEstimator, Cse, FreeBS, FreeRS, PerUserHllpp, PerUserLpc, VHll};
+use graphstream::Edge;
+use std::hint::black_box;
+
+fn test_edges(n: usize) -> Vec<Edge> {
+    // 64 users, heavy-tailed-ish item churn, deterministic.
+    let mut g = hashkit::SplitMix64::new(0xBEEF);
+    (0..n)
+        .map(|_| {
+            let u = g.next_below(64);
+            let d = g.next_u64() >> 20;
+            Edge::new(u, d)
+        })
+        .collect()
+}
+
+fn bench_o1(c: &mut Criterion) {
+    let edges = test_edges(100_000);
+    let mut group = c.benchmark_group("update/o1");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("FreeBS", |b| {
+        b.iter(|| {
+            let mut est = FreeBS::new(1 << 22, 1);
+            for e in &edges {
+                est.process(black_box(e.user), black_box(e.item));
+            }
+            black_box(est.total_estimate())
+        });
+    });
+    group.bench_function("FreeRS", |b| {
+        b.iter(|| {
+            let mut est = FreeRS::new((1 << 22) / 5, 1);
+            for e in &edges {
+                est.process(black_box(e.user), black_box(e.item));
+            }
+            black_box(est.total_estimate())
+        });
+    });
+    group.finish();
+}
+
+fn bench_om(c: &mut Criterion) {
+    let edges = test_edges(20_000);
+    let mut group = c.benchmark_group("update/om");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.sample_size(10);
+
+    for m in [128usize, 512, 2048] {
+        group.bench_with_input(BenchmarkId::new("CSE", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut est = Cse::new(1 << 22, m, 1);
+                for e in &edges {
+                    est.process(e.user, e.item);
+                }
+                black_box(est.estimate(0))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("vHLL", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut est = VHll::new((1 << 22) / 5, m, 1);
+                for e in &edges {
+                    est.process(e.user, e.item);
+                }
+                black_box(est.estimate(0))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("LPC", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut est = PerUserLpc::new(m, 1);
+                for e in &edges {
+                    est.process(e.user, e.item);
+                }
+                black_box(est.estimate(0))
+            });
+        });
+        let precision = ((usize::BITS - 1 - m.leading_zeros()) as u8).clamp(4, 14);
+        group.bench_with_input(BenchmarkId::new("HLL++", m), &m, |b, _| {
+            b.iter(|| {
+                let mut est = PerUserHllpp::new(precision, 1);
+                for e in &edges {
+                    est.process(e.user, e.item);
+                }
+                black_box(est.estimate(0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_o1, bench_om);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation A5 — floating-point drift of FreeRS's incremental `Z`.
+//!
+//! FreeRS maintains `Z = Σ 2^{-R[j]}` incrementally (O(1) per growth) and
+//! rebuilds it exactly every 2²⁰ growths. This experiment measures the
+//! accumulated absolute drift right before a rebuild across stream sizes,
+//! confirming the design note in DESIGN.md §3: drift stays many orders of
+//! magnitude below the estimator's statistical noise.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_ablation_drift
+//! ```
+
+use freesketch::{CardinalityEstimator, FreeRS};
+use metrics::Table;
+
+fn main() {
+    println!("Ablation A5: FreeRS incremental-Z drift\n");
+    let mut table = Table::new(["registers", "edges", "|Z_inc - Z_exact|", "Z_exact", "rel drift"]);
+    for &(m_regs, edges) in &[(1usize << 10, 100_000u64), (1 << 14, 1_000_000), (1 << 17, 4_000_000)] {
+        let mut f = FreeRS::new(m_regs, 7);
+        for d in 0..edges {
+            f.process(d % 1024, d);
+        }
+        // Measure drift (rebuild_z returns it and resets the accumulator).
+        let z_before = f.q() * m_regs as f64;
+        let drift = f.rebuild_z();
+        let z_exact = f.q() * m_regs as f64;
+        table.row([
+            m_regs.to_string(),
+            edges.to_string(),
+            format!("{drift:.3e}"),
+            format!("{z_exact:.3e}"),
+            format!("{:.3e}", drift / z_exact),
+        ]);
+        let _ = z_before;
+    }
+    print!("{}", table.render());
+    println!("\n(expect relative drift < 1e-12 everywhere — far below the ~1/√M noise)");
+}

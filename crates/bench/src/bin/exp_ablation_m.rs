@@ -1,0 +1,86 @@
+//! Ablation A1 — Challenge 1: the virtual-sketch size `m` is hard to tune.
+//!
+//! Sweeps `m` for CSE and vHLL on one dataset under a fixed memory budget
+//! and reports the mean RSE for *small* users (cardinality ≤ 32) and
+//! *large* users (top decade) separately, next to the parameter-free
+//! FreeBS/FreeRS. Expected: growing `m` hurts small users (more noisy
+//! "unused" cells per sketch) while shrinking `m` hurts large users (range
+//! and resolution) — there is no good single choice, which is the paper's
+//! motivation for parameter-freeness.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_ablation_m [--quick|--scale N]
+//! ```
+
+use bench::{effective_scale, stream_with_truth};
+use freesketch::{CardinalityEstimator, Cse, FreeBS, FreeRS, VHll};
+use graphstream::profiles::by_name;
+use metrics::{Summary, Table};
+
+fn main() {
+    let profile = by_name("flickr").expect("profile exists");
+    let scale = effective_scale(profile);
+    let (stream, truth) = stream_with_truth(profile, scale);
+    let m_bits = profile.scaled_memory_bits(scale);
+    println!(
+        "Ablation A1: RSE vs virtual-sketch size m   [flickr, scale {scale}, M = {}]\n",
+        bench::fmt_bits(m_bits)
+    );
+
+    let large_cut = truth.max_cardinality() / 4;
+    let mut table = Table::new([
+        "method",
+        "m",
+        "RSE(small: n<=32)",
+        &format!("RSE(large: n>={large_cut})"),
+    ]);
+
+    // Parameter-free references first.
+    let mut fbs = FreeBS::new(m_bits, 3);
+    bench::run_stream(&mut fbs, stream.edges());
+    let (s, l) = split_rse(&fbs, &truth, large_cut);
+    table.row(["FreeBS", "-", &metrics::sci(s), &metrics::sci(l)]);
+
+    let mut frs = FreeRS::new(m_bits / 5, 3);
+    bench::run_stream(&mut frs, stream.edges());
+    let (s, l) = split_rse(&frs, &truth, large_cut);
+    table.row(["FreeRS", "-", &metrics::sci(s), &metrics::sci(l)]);
+
+    for &m in &[64usize, 256, 1024, 4096] {
+        let mut cse = Cse::new(m_bits, m, 3);
+        bench::run_stream(&mut cse, stream.edges());
+        let (s, l) = split_rse(&cse, &truth, large_cut);
+        table.row(["CSE", &m.to_string(), &metrics::sci(s), &metrics::sci(l)]);
+    }
+    for &m in &[64usize, 256, 1024, 4096] {
+        let mut vhll = VHll::new(m_bits / 5, m, 3);
+        bench::run_stream(&mut vhll, stream.edges());
+        let (s, l) = split_rse(&vhll, &truth, large_cut);
+        table.row(["vHLL", &m.to_string(), &metrics::sci(s), &metrics::sci(l)]);
+    }
+    print!("{}", table.render());
+    println!("\n(expect: CSE/vHLL small-user RSE grows with m; large-user RSE shrinks with m;");
+    println!(" FreeBS/FreeRS beat every (method, m) pair without any tuning)");
+}
+
+fn split_rse<E: CardinalityEstimator>(
+    est: &E,
+    truth: &graphstream::GroundTruth,
+    large_cut: u64,
+) -> (f64, f64) {
+    let mut small = Summary::new();
+    let mut large = Summary::new();
+    for (user, actual) in truth.iter() {
+        if actual == 0 {
+            continue;
+        }
+        let rel = (est.estimate(user) - actual as f64) / actual as f64;
+        if actual <= 32 {
+            small.push(rel);
+        }
+        if actual >= large_cut.max(1) {
+            large.push(rel);
+        }
+    }
+    (small.rms(), large.rms())
+}

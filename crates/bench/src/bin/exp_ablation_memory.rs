@@ -1,0 +1,49 @@
+//! Ablation A3 — accuracy vs total memory budget `M`.
+//!
+//! Sweeps the shared budget across two orders of magnitude and reports each
+//! method's mean RSE. Expected: every method improves with memory; the
+//! parameter-free methods improve smoothly (error ∝ roughly √(n/M)), while
+//! CSE collapses once the budget makes its fixed `m` either too noisy or
+//! too coarse.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_ablation_memory [--quick|--scale N]
+//! ```
+
+use bench::{effective_scale, stream_with_truth, MethodSet, DEFAULT_M};
+use graphstream::profiles::by_name;
+use metrics::{RseBins, Table};
+
+fn main() {
+    let profile = by_name("chicago").expect("profile exists");
+    let scale = effective_scale(profile);
+    let (stream, truth) = stream_with_truth(profile, scale);
+    let base_bits = profile.scaled_memory_bits(scale);
+    let users = stream.config().users;
+    println!(
+        "Ablation A3: mean RSE vs memory budget   [chicago, scale {scale}, n = {}]\n",
+        truth.total_cardinality()
+    );
+
+    let mut table = Table::new(["M", "FreeBS", "FreeRS", "CSE", "vHLL", "HLL++"]);
+    for factor in [4u32, 2, 1] {
+        let m_bits = base_bits / factor as usize;
+        let mut row = vec![bench::fmt_bits(m_bits)];
+        for mut method in MethodSet::all(m_bits, DEFAULT_M.min(m_bits / 8), users, 19)
+            .into_iter()
+            .filter(|m| m.name() != "LPC")
+        {
+            bench::run_stream(method.as_mut(), stream.edges());
+            let mut bins = RseBins::new(2);
+            for (user, actual) in truth.iter() {
+                bins.record(actual, method.estimate(user));
+            }
+            row.push(metrics::sci(bins.mean_rse()));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!("\n(expect every column to shrink top-to-bottom, FreeBS/FreeRS lowest of the");
+    println!(" sharing methods; per-user HLL++'s mean RSE is flattered by the mass of tiny");
+    println!(" users its sparse mode counts exactly — see Fig. 5 for the per-cardinality view)");
+}

@@ -1,0 +1,51 @@
+//! Ablation A4 — estimation range: FreeBS's `M ln M` vs CSE's `m ln m`.
+//!
+//! One user streams an ever-growing item set through a small shared array.
+//! CSE saturates at `m ln m` (its Fig. 4(c)/(e) plateau); FreeBS keeps
+//! tracking up to `M ln M`; FreeRS keeps tracking essentially forever
+//! (`2^{2^w}` range). The table prints estimate vs truth at log-spaced
+//! checkpoints.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_ablation_range
+//! ```
+
+use freesketch::{CardinalityEstimator, Cse, FreeBS, FreeRS};
+use metrics::Table;
+
+fn main() {
+    let m_bits = 1usize << 16; // 64 kbit shared array
+    let m = 256; // CSE virtual sketch: caps at 256·ln 256 ≈ 1419
+    let mut fbs = FreeBS::new(m_bits, 1);
+    let mut frs = FreeRS::new(m_bits / 5, 1);
+    let mut cse = Cse::new(m_bits, m, 1);
+
+    println!("Ablation A4: estimation range   [M = 64 kbit, CSE m = {m}]");
+    println!(
+        "CSE range cap = {:.0}, FreeBS range cap = {:.0}\n",
+        freesketch::theory::cse_range(m as f64),
+        freesketch::theory::freebs_range(m_bits as f64),
+    );
+
+    let mut table = Table::new(["true n", "FreeBS", "FreeRS", "CSE"]);
+    let checkpoints: Vec<u64> = (0..=9).map(|k| 100u64 << k).collect(); // 100..51200
+    let mut next = 0usize;
+    let max_n = *checkpoints.last().expect("non-empty");
+    for d in 0..max_n {
+        fbs.process(1, d);
+        frs.process(1, d);
+        cse.process(1, d);
+        if next < checkpoints.len() && d + 1 == checkpoints[next] {
+            table.row([
+                (d + 1).to_string(),
+                format!("{:.0}", fbs.estimate(1)),
+                format!("{:.0}", frs.estimate(1)),
+                format!("{:.0}", cse.estimate(1)),
+            ]);
+            next += 1;
+        }
+    }
+    print!("{}", table.render());
+    println!("\n(expect CSE to flatline near {:.0}; FreeBS/FreeRS keep tracking)",
+        freesketch::theory::cse_range(m as f64));
+}

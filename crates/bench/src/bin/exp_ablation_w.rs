@@ -1,0 +1,62 @@
+//! Ablation A2 — register width `w` under a fixed *bit* budget.
+//!
+//! §IV-C compares FreeBS (M bits) with FreeRS (M/w registers) and predicts
+//! the crossover: bit sharing is more accurate for users arriving early
+//! (small totals), register sharing for the tail of the stream
+//! (`n/M ≥ 0.772w`). Sweeping `w ∈ {4,5,6,8}` shows the trade directly:
+//! wider registers mean fewer of them (more collisions/noise) but a larger
+//! rank range (relevant only for astronomically large per-register loads).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_ablation_w [--quick|--scale N]
+//! ```
+
+use bench::{effective_scale, stream_with_truth};
+use freesketch::{CardinalityEstimator, FreeBS, FreeRS};
+use graphstream::profiles::by_name;
+use metrics::{RseBins, Table};
+
+fn main() {
+    let profile = by_name("orkut").expect("profile exists");
+    let scale = effective_scale(profile);
+    let (stream, truth) = stream_with_truth(profile, scale);
+    let m_bits = profile.scaled_memory_bits(scale);
+    println!(
+        "Ablation A2: FreeRS register width under a fixed {} budget   [orkut, scale {scale}]\n",
+        bench::fmt_bits(m_bits)
+    );
+
+    let mut table = Table::new(["method", "w", "registers", "mean RSE"]);
+
+    let mut fbs = FreeBS::new(m_bits, 5);
+    bench::run_stream(&mut fbs, stream.edges());
+    table.row([
+        "FreeBS".to_string(),
+        "1".to_string(),
+        m_bits.to_string(),
+        metrics::sci(mean_rse(&fbs, &truth)),
+    ]);
+
+    for &w in &[4u8, 5, 6, 8] {
+        let regs = m_bits / usize::from(w);
+        let mut frs = FreeRS::with_width(regs, w, 5);
+        bench::run_stream(&mut frs, stream.edges());
+        table.row([
+            "FreeRS".to_string(),
+            w.to_string(),
+            regs.to_string(),
+            metrics::sci(mean_rse(&frs, &truth)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\n(expect: narrower registers — more of them — win at this load;");
+    println!(" w=5 is the paper's sweet spot for 2^32-scale ranges)");
+}
+
+fn mean_rse<E: CardinalityEstimator>(est: &E, truth: &graphstream::GroundTruth) -> f64 {
+    let mut bins = RseBins::new(2);
+    for (user, actual) in truth.iter() {
+        bins.record(actual, est.estimate(user));
+    }
+    bins.mean_rse()
+}

@@ -1,0 +1,41 @@
+//! Figure 2 — CCDFs of user cardinalities.
+//!
+//! Prints, per dataset, a log-downsampled CCDF series
+//! `P(cardinality ≥ x)`. The paper's figure shows straight-ish heavy tails
+//! on log–log axes spanning ~5 decades of probability; the synthetic
+//! streams reproduce that shape (bounded-Zipf fit, DESIGN.md §5).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_fig2 [--quick|--full|--scale N]
+//! ```
+
+use bench::{effective_scale, stream_with_truth};
+use graphstream::PROFILES;
+use metrics::{ccdf, Table};
+
+fn main() {
+    println!("Figure 2: CCDFs of user cardinalities\n");
+    for p in &PROFILES {
+        let scale = effective_scale(p);
+        let (_stream, truth) = stream_with_truth(p, scale);
+        let cards: Vec<u64> = truth.iter().map(|(_, n)| n).collect();
+        let curve = ccdf(&cards);
+
+        println!("## {} (scale {scale}, {} users)", p.name, cards.len());
+        let mut table = Table::new(["cardinality", "P(X >= x)"]);
+        // Downsample to roughly one point per 1/4 decade of x.
+        let mut next_x = 1.0f64;
+        for pt in &curve {
+            if pt.value as f64 >= next_x {
+                table.row([pt.value.to_string(), format!("{:.3e}", pt.fraction)]);
+                next_x = (pt.value as f64) * 10f64.powf(0.25);
+            }
+        }
+        // Always include the tail point.
+        if let Some(last) = curve.last() {
+            table.row([last.value.to_string(), format!("{:.3e}", last.fraction)]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+}

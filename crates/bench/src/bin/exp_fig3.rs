@@ -1,0 +1,64 @@
+//! Figure 3 — per-edge update time vs the virtual-sketch size `m`.
+//!
+//! The paper's runtime experiment: mean time to process one element and
+//! refresh its user's counter, as `m` grows from 64 to 16384, for all six
+//! methods. Expected shape: FreeBS and FreeRS are flat (O(1)) and fastest;
+//! CSE, vHLL, LPC, HLL++ grow roughly linearly in `m`; CSE is faster than
+//! vHLL, and FreeBS faster than FreeRS.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_fig3 [--quick]
+//! ```
+
+use freesketch::{CardinalityEstimator, Cse, FreeBS, FreeRS, PerUserHllpp, PerUserLpc, VHll};
+use graphstream::profiles::by_name;
+use metrics::Table;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = by_name("orkut").expect("profile exists");
+    let scale = profile.default_scale * if quick { 20 } else { 4 };
+    let stream = profile.scaled(scale).generate();
+    let edges = stream.edges();
+    println!(
+        "Figure 3: mean per-edge update time (ns) vs m   [orkut profile, {} edges]\n",
+        edges.len()
+    );
+
+    let m_values: &[usize] = if quick {
+        &[64, 256, 1024]
+    } else {
+        &[64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+    };
+    let m_bits = 1usize << 25; // shared budget, large enough for all m
+
+    let mut table = Table::new(["m", "FreeBS", "FreeRS", "CSE", "vHLL", "LPC", "HLL++"]);
+    for &m in m_values {
+        let mut row = vec![m.to_string()];
+        let methods: Vec<Box<dyn CardinalityEstimator>> = vec![
+            Box::new(FreeBS::new(m_bits, 1)),
+            Box::new(FreeRS::new(m_bits / 5, 1)),
+            Box::new(Cse::new(m_bits, m, 1)),
+            Box::new(VHll::new(m_bits / 5, m, 1)),
+            // Per-user baselines get sketches of size m directly (the
+            // figure sweeps the per-user sketch size).
+            Box::new(PerUserLpc::new(m, 1)),
+            Box::new(PerUserHllpp::new(precision_for(m), 1)),
+        ];
+        for mut method in methods {
+            let secs = bench::run_stream(method.as_mut(), edges);
+            let ns_per_edge = secs * 1e9 / edges.len() as f64;
+            row.push(format!("{ns_per_edge:.0}"));
+        }
+        table.row(row);
+        // FreeBS/FreeRS do not depend on m; repeated rows double as a
+        // stability check, mirroring the flat lines in the paper's figure.
+    }
+    print!("{}", table.render());
+    println!("\n(expect: FreeBS/FreeRS flat; CSE/vHLL/LPC/HLL++ growing with m)");
+}
+
+fn precision_for(m: usize) -> u8 {
+    let p = (usize::BITS - 1 - m.max(16).leading_zeros()) as u8;
+    p.clamp(4, 14)
+}

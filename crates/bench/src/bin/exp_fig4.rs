@@ -1,0 +1,64 @@
+//! Figure 4 — estimated vs actual cardinalities (Orkut), six methods.
+//!
+//! The paper shows scatter plots; a terminal can't scatter, so this binary
+//! prints, per method, the mean estimated cardinality within log-spaced
+//! bins of actual cardinality (plus the bin's min/max estimate) — points on
+//! the diagonal mean accurate estimation. Expected shape: FreeBS/FreeRS hug
+//! the diagonal everywhere; CSE and LPC flatten out at their `m ln m`
+//! range ceilings; vHLL/HLL++ wobble at the low end.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_fig4 [--quick|--full|--scale N]
+//! ```
+
+use bench::{effective_scale, stream_with_truth, MethodSet, DEFAULT_M};
+use graphstream::profiles::by_name;
+use metrics::Table;
+
+fn main() {
+    let profile = by_name("orkut").expect("profile exists");
+    let scale = effective_scale(profile);
+    let (stream, truth) = stream_with_truth(profile, scale);
+    let m_bits = profile.scaled_memory_bits(scale);
+    println!(
+        "Figure 4: estimated vs actual cardinality   [orkut, scale {scale}, M = {}, m = {DEFAULT_M}]\n",
+        bench::fmt_bits(m_bits)
+    );
+
+    let users = stream.config().users;
+    for mut method in MethodSet::all(m_bits, DEFAULT_M, users, 7) {
+        bench::run_stream(method.as_mut(), stream.edges());
+
+        // Bin users by actual cardinality, 4 bins per decade.
+        let mut bins: std::collections::BTreeMap<i64, (f64, f64, f64, u64)> =
+            std::collections::BTreeMap::new();
+        for (user, actual) in truth.iter() {
+            if actual == 0 {
+                continue;
+            }
+            let est = method.estimate(user);
+            let idx = ((actual as f64).log10() * 4.0).floor() as i64;
+            let e = bins.entry(idx).or_insert((0.0, f64::INFINITY, f64::NEG_INFINITY, 0));
+            e.0 += est;
+            e.1 = e.1.min(est);
+            e.2 = e.2.max(est);
+            e.3 += 1;
+        }
+
+        println!("## {}", method.name());
+        let mut table = Table::new(["actual(bin)", "mean-est", "min-est", "max-est", "users"]);
+        for (idx, (sum, min, max, count)) in &bins {
+            let center = 10f64.powf((*idx as f64 + 0.5) / 4.0);
+            table.row([
+                format!("{center:.0}"),
+                format!("{:.0}", sum / *count as f64),
+                format!("{min:.0}"),
+                format!("{max:.0}"),
+                count.to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+    println!("(diagonal mean-est ≈ actual(bin) means accurate; CSE/LPC flatten at m·ln m)");
+}

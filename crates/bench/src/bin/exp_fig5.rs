@@ -1,0 +1,74 @@
+//! Figure 5 — RSE of cardinality estimates vs actual cardinality, for all
+//! six datasets and five methods (LPC is dropped, as in the paper, for its
+//! tiny estimation range).
+//!
+//! Expected shape (matching the paper): FreeBS/FreeRS lowest across the
+//! range — often orders of magnitude below the baselines for small
+//! cardinalities; CSE's RSE dips then *rises* as it approaches its range
+//! ceiling; vHLL flat-ish but high for small users; HLL++ between them;
+//! bit-sharing beats register-sharing at small cardinalities and vice versa
+//! at large ones.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_fig5 [--quick|--full|--scale N]
+//! ```
+
+use bench::{effective_scale, stream_with_truth, MethodSet, DEFAULT_M};
+use graphstream::PROFILES;
+use metrics::{RseBins, Table};
+
+fn main() {
+    println!("Figure 5: RSE vs actual cardinality (5 methods, 6 datasets)\n");
+    for profile in &PROFILES {
+        let scale = effective_scale(profile);
+        let (stream, truth) = stream_with_truth(profile, scale);
+        let m_bits = profile.scaled_memory_bits(scale);
+        let users = stream.config().users;
+        println!(
+            "## {} (scale {scale}, M = {}, m = {DEFAULT_M}, {} users, {} edges)",
+            profile.name,
+            bench::fmt_bits(m_bits),
+            truth.user_count(),
+            stream.len()
+        );
+
+        // Five methods: all but per-user LPC.
+        let methods = MethodSet::all(m_bits, DEFAULT_M, users, 11)
+            .into_iter()
+            .filter(|m| m.name() != "LPC");
+
+        let mut series: Vec<(String, Vec<metrics::RseBin>)> = Vec::new();
+        for mut method in methods {
+            bench::run_stream(method.as_mut(), stream.edges());
+            let mut bins = RseBins::new(2);
+            for (user, actual) in truth.iter() {
+                bins.record(actual, method.estimate(user));
+            }
+            series.push((method.name().to_string(), bins.series()));
+        }
+
+        // Join on bin cardinality: bins were built from the same truth, so
+        // all series have identical bin structure.
+        let mut table = Table::new([
+            "cardinality",
+            "FreeBS",
+            "FreeRS",
+            "CSE",
+            "vHLL",
+            "HLL++",
+            "users",
+        ]);
+        let base = &series[0].1;
+        for (i, bin) in base.iter().enumerate() {
+            let mut row = vec![format!("{:.0}", bin.cardinality)];
+            for (_, s) in &series {
+                row.push(metrics::sci(s[i].rse));
+            }
+            row.push(bin.count.to_string());
+            table.row(row);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+    println!("(expect FreeBS/FreeRS columns lowest, CSE rising toward its range cap)");
+}

@@ -1,0 +1,46 @@
+//! Table I — summary of datasets used in the experiments.
+//!
+//! Regenerates the paper's dataset-summary table for the synthetic stand-in
+//! streams: for each profile, the scaled stream's measured user count,
+//! maximum cardinality and total cardinality, next to the published values
+//! (divided by the same scale) so calibration is visible at a glance.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_table1 [--quick|--full|--scale N]
+//! ```
+
+use bench::{effective_scale, stream_with_truth};
+use graphstream::PROFILES;
+use metrics::Table;
+
+fn main() {
+    println!("Table I: summary of (synthetic) datasets");
+    println!("paper columns scaled by each profile's scale factor\n");
+    let mut table = Table::new([
+        "dataset",
+        "scale",
+        "#users",
+        "(paper/scale)",
+        "max-card",
+        "(paper/scale)",
+        "total-card",
+        "(paper/scale)",
+        "stream-len",
+    ]);
+    for p in &PROFILES {
+        let scale = effective_scale(p);
+        let (stream, truth) = stream_with_truth(p, scale);
+        table.row([
+            p.name.to_string(),
+            scale.to_string(),
+            truth.user_count().to_string(),
+            (p.users / scale).to_string(),
+            truth.max_cardinality().to_string(),
+            (p.max_cardinality / scale).to_string(),
+            truth.total_cardinality().to_string(),
+            (p.total_cardinality / scale).to_string(),
+            stream.len().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,51 @@
+//! Extension experiment — windowed (recent-activity) estimation.
+//!
+//! A burst user goes quiet halfway through the stream. The lifetime
+//! estimator keeps reporting its historical cardinality forever; the
+//! windowed estimator (slice rotation, `freesketch::Windowed`) decays to
+//! zero within one window span — the behaviour an online anomaly detector
+//! needs to *clear* an alert.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_window
+//! ```
+
+use freesketch::{CardinalityEstimator, FreeBS, Windowed};
+use metrics::Table;
+
+fn main() {
+    let m_bits = 1 << 18;
+    let mut lifetime = FreeBS::new(m_bits, 3);
+    let mut windowed = Windowed::new(4, 25_000, move |i| FreeBS::new(m_bits, 100 + i));
+
+    println!("Extension: windowed vs lifetime estimates for a burst user");
+    println!("window = 4 slices x 25k edges; burst user active in first half only\n");
+
+    let mut table = Table::new(["edges", "lifetime-est", "windowed-est", "burst active?"]);
+    let total = 400_000u64;
+    let mut burst_items = 0u64;
+    for t in 0..total {
+        // Background: 64 steady users.
+        let bg_user = 1000 + t % 64;
+        lifetime.process(bg_user, t);
+        windowed.process(bg_user, t);
+        // Burst user 7: one new item every 4 edges, first half only.
+        if t < total / 2 && t % 4 == 0 {
+            lifetime.process(7, burst_items);
+            windowed.process(7, burst_items);
+            burst_items += 1;
+        }
+        if (t + 1) % 50_000 == 0 {
+            table.row([
+                (t + 1).to_string(),
+                format!("{:.0}", lifetime.estimate(7)),
+                format!("{:.0}", windowed.estimate(7)),
+                if t < total / 2 { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "\n(lifetime column stays at ~{burst_items}; windowed column falls to 0 within one window)"
+    );
+}

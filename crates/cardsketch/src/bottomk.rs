@@ -1,0 +1,261 @@
+//! Bottom-k (KMV / MinCount) sketch — the order-statistics estimator family
+//! of Bar-Yossef et al. and Giroire cited in §VI, and the only sketch here
+//! whose estimate admits *set intersection* estimates via the Jaccard
+//! resemblance of signatures.
+
+use crate::{DistinctCounter, GeometryError};
+use hashkit::mix64;
+
+/// A bottom-k sketch: keeps the `k` smallest 64-bit hash values seen.
+///
+/// With `h_(k)` the k-th smallest normalized hash, the cardinality estimate
+/// is `(k − 1)/h_(k)` (unbiased for the Pareto-order-statistic model). The
+/// sketch is duplicate-insensitive because equal items hash equally.
+///
+/// ```
+/// use cardsketch::{BottomK, DistinctCounter};
+///
+/// let mut s = BottomK::new(128, 7).expect("k >= 2");
+/// for i in 0..50u64 {
+///     s.insert(i);
+/// }
+/// assert_eq!(s.estimate(), 50.0); // exact below k
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BottomK {
+    k: usize,
+    seed: u64,
+    /// Max-heap (via `BinaryHeap`) of the k smallest hashes, so the largest
+    /// retained value is peekable in O(1).
+    heap: std::collections::BinaryHeap<u64>,
+}
+
+impl BottomK {
+    /// Creates a bottom-k sketch retaining the `k` smallest hashes.
+    ///
+    /// # Errors
+    /// [`GeometryError::EmptySketch`] if `k < 2` (the estimator divides by
+    /// `k − 1`).
+    pub fn new(k: usize, seed: u64) -> Result<Self, GeometryError> {
+        if k < 2 {
+            return Err(GeometryError::EmptySketch);
+        }
+        Ok(Self {
+            k,
+            seed: mix64(seed, 0xB0_77_0A_17),
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        })
+    }
+
+    /// The retention parameter `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of hashes currently retained (`min(k, distinct inserts)`).
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The sorted signature (ascending hash values) — the basis for
+    /// resemblance/intersection estimates.
+    #[must_use]
+    pub fn signature(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.heap.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Estimates the Jaccard resemblance `|A∩B| / |A∪B|` between the sets
+    /// behind two same-seed sketches, by comparing bottom-k signatures of
+    /// the union (standard KMV coincidence estimator).
+    ///
+    /// # Panics
+    /// Panics if the sketches have different seeds or `k`.
+    #[must_use]
+    pub fn jaccard(&self, other: &Self) -> f64 {
+        assert_eq!(self.seed, other.seed, "jaccard requires identical seeds");
+        assert_eq!(self.k, other.k, "jaccard requires identical k");
+        let a = self.signature();
+        let b = other.signature();
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        // Bottom-k of the union = k smallest of the merged signatures.
+        let mut union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        union.truncate(self.k);
+        let a_set: std::collections::HashSet<u64> = a.into_iter().collect();
+        let b_set: std::collections::HashSet<u64> = b.into_iter().collect();
+        let shared = union
+            .iter()
+            .filter(|h| a_set.contains(h) && b_set.contains(h))
+            .count();
+        shared as f64 / union.len() as f64
+    }
+
+    /// Merges a same-seed sketch: bottom-k of the union.
+    ///
+    /// # Panics
+    /// Panics if seeds or `k` differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.seed, other.seed, "merge requires identical seeds");
+        assert_eq!(self.k, other.k, "merge requires identical k");
+        for &h in &other.heap {
+            self.offer(h);
+        }
+    }
+
+    #[inline]
+    fn offer(&mut self, h: u64) -> bool {
+        if self.heap.len() < self.k {
+            if self.heap.iter().any(|&x| x == h) {
+                return false;
+            }
+            self.heap.push(h);
+            true
+        } else if h < *self.heap.peek().expect("heap full") {
+            if self.heap.iter().any(|&x| x == h) {
+                return false;
+            }
+            self.heap.pop();
+            self.heap.push(h);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl DistinctCounter for BottomK {
+    #[inline]
+    fn insert(&mut self, item: u64) -> bool {
+        self.offer(mix64(self.seed, item))
+    }
+
+    fn estimate(&self) -> f64 {
+        let r = self.heap.len();
+        if r < self.k {
+            // Fewer than k distinct items seen: the sketch is exact.
+            return r as f64;
+        }
+        let kth = *self.heap.peek().expect("heap full") as f64;
+        let normalized = kth / (u64::MAX as f64);
+        (self.k as f64 - 1.0) / normalized
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.heap.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_k() {
+        let mut s = BottomK::new(100, 1).expect("k >= 2");
+        for i in 0..50u64 {
+            s.insert(i);
+            s.insert(i);
+        }
+        assert_eq!(s.estimate(), 50.0);
+        assert_eq!(s.retained(), 50);
+    }
+
+    #[test]
+    fn estimates_beyond_k() {
+        let mut s = BottomK::new(256, 2).expect("k >= 2");
+        let n = 100_000u64;
+        for i in 0..n {
+            s.insert(i);
+        }
+        // Relative error ~ 1/√(k−2) ≈ 6.3%; allow 4σ.
+        let rel = (s.estimate() / n as f64 - 1.0).abs();
+        assert!(rel < 0.25, "relative error {rel}");
+    }
+
+    #[test]
+    fn duplicate_insensitive() {
+        let mut s = BottomK::new(64, 3).expect("k >= 2");
+        for i in 0..10_000u64 {
+            s.insert(i);
+        }
+        let before = s.estimate();
+        for i in 0..10_000u64 {
+            assert!(!s.insert(i), "duplicate {i} changed the sketch");
+        }
+        assert_eq!(s.estimate(), before);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = BottomK::new(128, 5).expect("k >= 2");
+        let mut b = BottomK::new(128, 5).expect("k >= 2");
+        let mut u = BottomK::new(128, 5).expect("k >= 2");
+        for i in 0..5000u64 {
+            a.insert(i);
+            u.insert(i);
+        }
+        for i in 2500..7500u64 {
+            b.insert(i);
+            u.insert(i);
+        }
+        a.merge(&b);
+        assert_eq!(a.signature(), u.signature());
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn jaccard_of_identical_sets_is_one() {
+        let mut a = BottomK::new(64, 7).expect("k >= 2");
+        let mut b = BottomK::new(64, 7).expect("k >= 2");
+        for i in 0..1000u64 {
+            a.insert(i);
+            b.insert(i);
+        }
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn jaccard_of_disjoint_sets_is_zero() {
+        let mut a = BottomK::new(64, 8).expect("k >= 2");
+        let mut b = BottomK::new(64, 8).expect("k >= 2");
+        for i in 0..1000u64 {
+            a.insert(i);
+            b.insert(1_000_000 + i);
+        }
+        assert_eq!(a.jaccard(&b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_estimates_half_overlap() {
+        // |A| = |B| = 20000, |A∩B| = 10000 → J = 10000/30000 = 1/3.
+        let mut a = BottomK::new(512, 9).expect("k >= 2");
+        let mut b = BottomK::new(512, 9).expect("k >= 2");
+        for i in 0..20_000u64 {
+            a.insert(i);
+            b.insert(i + 10_000);
+        }
+        let j = a.jaccard(&b);
+        assert!((j - 1.0 / 3.0).abs() < 0.08, "jaccard {j}");
+    }
+
+    #[test]
+    fn k_below_two_rejected() {
+        assert!(BottomK::new(1, 0).is_err());
+        assert!(BottomK::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn empty_jaccard_is_one() {
+        let a = BottomK::new(8, 1).expect("k >= 2");
+        let b = BottomK::new(8, 1).expect("k >= 2");
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Construction errors for sketch geometry.
+
+/// Returned when a sketch is constructed with an invalid shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The requested number of cells was zero.
+    EmptySketch,
+    /// The requested number of cells exceeds what the implementation
+    /// addresses (documented per sketch).
+    TooLarge {
+        /// The requested size.
+        requested: usize,
+        /// The maximum supported size.
+        max: usize,
+    },
+    /// An HLL++ precision outside the supported `4..=18` window.
+    BadPrecision {
+        /// The requested precision.
+        requested: u8,
+    },
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptySketch => write!(f, "sketch must have at least one cell"),
+            Self::TooLarge { requested, max } => {
+                write!(f, "sketch size {requested} exceeds supported maximum {max}")
+            }
+            Self::BadPrecision { requested } => {
+                write!(f, "HLL++ precision {requested} outside supported range 4..=18")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GeometryError::EmptySketch.to_string().contains("at least one"));
+        assert!(GeometryError::TooLarge { requested: 10, max: 5 }
+            .to_string()
+            .contains("10"));
+        assert!(GeometryError::BadPrecision { requested: 3 }
+            .to_string()
+            .contains("4..=18"));
+    }
+}

@@ -1,0 +1,285 @@
+//! HyperLogLog, Flajolet–Fusy–Gandouet–Meunier 2007.
+
+use crate::{DistinctCounter, GeometryError};
+use bitpack::PackedArray;
+use hashkit::UserItemHasher;
+
+/// Computes the HLL bias-correction constant
+/// `α_m = (m ∫₀^∞ (log₂((2+u)/(1+u)))^m du)^{-1}` by numerical integration.
+///
+/// The paper quotes the standard approximations (`α16 ≈ 0.673`,
+/// `α32 ≈ 0.697`, `α64 ≈ 0.709`, `αm ≈ 0.7213/(1+1.079/m)` for `m ≥ 128`);
+/// we evaluate the integral directly so arbitrary `m` — including the
+/// non-power-of-two register counts that vHLL and FreeRS use — get an exact
+/// constant. Tests pin the quoted values.
+///
+/// # Panics
+/// Panics if `m < 2` (the integral diverges at `m = 1`; no estimator here
+/// uses a single register through this path).
+#[must_use]
+pub fn alpha_m(m: usize) -> f64 {
+    assert!(m >= 2, "alpha_m requires m >= 2");
+    // Substitute u = t/(1-t) to map [0,∞) onto [0,1), then composite
+    // Simpson with enough panels that the quoted 3-digit constants pin.
+    let mf = m as f64;
+    let n_panels = 1 << 14; // even
+    let h = 1.0 / f64::from(n_panels);
+    let f = |t: f64| -> f64 {
+        if t >= 1.0 {
+            return 0.0;
+        }
+        let u = t / (1.0 - t);
+        let v = ((2.0 + u) / (1.0 + u)).log2().powf(mf);
+        v / ((1.0 - t) * (1.0 - t)) // du/dt jacobian
+    };
+    let mut sum = f(0.0) + f(1.0 - h); // endpoint at t->1 is 0 for m>=2
+    for i in 1..n_panels {
+        let t = f64::from(i) * h;
+        sum += f(t) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    let integral = sum * h / 3.0;
+    1.0 / (mf * integral)
+}
+
+/// A dense HyperLogLog sketch with `m` registers of `width` bits.
+///
+/// Item `d` maps to register `h(d)` and rank `ρ(d)` (Geometric(1/2)); the
+/// register keeps the max rank. The estimator is the bias-corrected harmonic
+/// mean `α_m m² / Σ 2^{-R[i]}`, replaced by linear counting on the zero
+/// registers when the raw estimate falls below `2.5 m` — exactly the scheme
+/// described in §III-A2 of the paper.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HyperLogLog {
+    registers: PackedArray,
+    hasher: UserItemHasher,
+    alpha: f64,
+}
+
+impl HyperLogLog {
+    /// Default register width: 6 bits hold ranks up to 63, enough for the
+    /// full 64-bit hash domain.
+    pub const DEFAULT_WIDTH: u8 = 6;
+
+    /// Creates an HLL sketch with `m` registers of [`Self::DEFAULT_WIDTH`]
+    /// bits.
+    ///
+    /// # Errors
+    /// [`GeometryError::EmptySketch`] if `m < 2`.
+    pub fn new(m: usize, seed: u64) -> Result<Self, GeometryError> {
+        Self::with_width(m, Self::DEFAULT_WIDTH, seed)
+    }
+
+    /// Creates an HLL sketch with explicit register width (the paper's
+    /// register-sharing methods use 5-bit registers).
+    ///
+    /// # Errors
+    /// [`GeometryError::EmptySketch`] if `m < 2`.
+    ///
+    /// # Panics
+    /// Panics if `width ∉ 1..=16` (propagated from [`PackedArray`]).
+    pub fn with_width(m: usize, width: u8, seed: u64) -> Result<Self, GeometryError> {
+        if m < 2 {
+            return Err(GeometryError::EmptySketch);
+        }
+        Ok(Self {
+            registers: PackedArray::new(m, width),
+            hasher: UserItemHasher::new(seed),
+            alpha: alpha_m(m),
+        })
+    }
+
+    /// Number of registers `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// The bias constant `α_m` for this geometry.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Read-only view of the registers.
+    #[must_use]
+    pub fn registers(&self) -> &PackedArray {
+        &self.registers
+    }
+
+    /// The shared HLL estimator on explicit state: `m` registers whose
+    /// `Σ 2^{-R}` is `sum_pow2_neg` with `zeros` zero-registers. Reused by
+    /// vHLL for its virtual sketches.
+    #[must_use]
+    pub fn estimate_from_state(m: usize, alpha: f64, sum_pow2_neg: f64, zeros: usize) -> f64 {
+        let mf = m as f64;
+        let raw = alpha * mf * mf / sum_pow2_neg;
+        if raw <= 2.5 * mf && zeros > 0 {
+            // Small-range correction: treat registers as an LPC bitmap.
+            mf * (mf / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// Merges another HLL built with the same seed and geometry
+    /// (element-wise max = sketch of the set union).
+    ///
+    /// # Panics
+    /// Panics if seeds or geometry differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.hasher, other.hasher, "HLL merge requires identical seeds");
+        self.registers.merge_max(&other.registers);
+    }
+}
+
+impl DistinctCounter for HyperLogLog {
+    #[inline]
+    fn insert(&mut self, item: u64) -> bool {
+        let (pos, rank) = self.hasher.position_and_rank(item, self.registers.len());
+        let v = u16::from(rank.saturated(self.registers.width()));
+        self.registers.store_max(pos, v).is_some()
+    }
+
+    fn estimate(&self) -> f64 {
+        let zeros = self.registers.count_zeros();
+        if zeros == self.registers.len() {
+            return 0.0;
+        }
+        Self::estimate_from_state(
+            self.registers.len(),
+            self.alpha,
+            self.registers.sum_pow2_neg(),
+            zeros,
+        )
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.registers.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_matches_published_constants() {
+        // §III-A2 quotes these to three decimals.
+        assert!((alpha_m(16) - 0.673).abs() < 5e-4, "alpha_16 = {}", alpha_m(16));
+        assert!((alpha_m(32) - 0.697).abs() < 5e-4, "alpha_32 = {}", alpha_m(32));
+        assert!((alpha_m(64) - 0.709).abs() < 5e-4, "alpha_64 = {}", alpha_m(64));
+        for m in [128usize, 1024, 16384] {
+            let approx = 0.7213 / (1.0 + 1.079 / m as f64);
+            assert!(
+                (alpha_m(m) / approx - 1.0).abs() < 2e-3,
+                "alpha_{m} = {} vs approx {approx}",
+                alpha_m(m)
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_is_monotone_increasing_toward_limit() {
+        let limit = 0.72134;
+        let mut prev = alpha_m(2);
+        for m in [4usize, 8, 16, 64, 256, 4096] {
+            let a = alpha_m(m);
+            assert!(a > prev, "alpha not increasing at m={m}");
+            assert!(a < limit + 1e-3);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = HyperLogLog::new(64, 0).expect("geometry");
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn small_range_uses_linear_counting() {
+        // 20 items in 1024 registers: raw HLL would be badly biased; LC path
+        // should land within a couple of items.
+        let mut h = HyperLogLog::new(1024, 1).expect("geometry");
+        for i in 0..20u64 {
+            h.insert(i);
+        }
+        assert!((h.estimate() - 20.0).abs() < 3.0, "est {}", h.estimate());
+    }
+
+    #[test]
+    fn large_range_accuracy_within_three_sigma() {
+        // Relative std error ≈ 1.04/√m = 3.25% at m=1024.
+        let mut h = HyperLogLog::new(1024, 2).expect("geometry");
+        let n = 500_000u64;
+        for i in 0..n {
+            h.insert(i);
+        }
+        let rel = (h.estimate() / n as f64 - 1.0).abs();
+        assert!(rel < 3.0 * 1.04 / 32.0, "relative error {rel}");
+    }
+
+    #[test]
+    fn five_bit_width_saturates_not_panics() {
+        let mut h = HyperLogLog::with_width(16, 5, 3).expect("geometry");
+        for i in 0..100_000u64 {
+            h.insert(i);
+        }
+        assert!(h.registers().iter().all(|v| v <= 31));
+        assert!(h.estimate() > 10_000.0);
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = HyperLogLog::new(256, 9).expect("geometry");
+        let mut b = HyperLogLog::new(256, 9).expect("geometry");
+        let mut u = HyperLogLog::new(256, 9).expect("geometry");
+        for i in 0..40_000u64 {
+            a.insert(i);
+            u.insert(i);
+        }
+        for i in 20_000..60_000u64 {
+            b.insert(i);
+            u.insert(i);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn m_below_two_rejected() {
+        assert!(HyperLogLog::new(0, 0).is_err());
+        assert!(HyperLogLog::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn insert_reports_register_growth_only() {
+        let mut h = HyperLogLog::new(16, 4).expect("geometry");
+        let mut changed = 0;
+        for i in 0..1000u64 {
+            if h.insert(i) {
+                changed += 1;
+            }
+        }
+        // Register growth events are far rarer than inserts once warm.
+        assert!(changed < 200, "{changed} growth events in 1000 inserts");
+        // And re-inserting everything produces none.
+        for i in 0..1000u64 {
+            assert!(!h.insert(i));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_m_works() {
+        // The virtual-sketch methods use arbitrary m; estimator must not
+        // assume 2^p registers.
+        let mut h = HyperLogLog::new(100, 5).expect("geometry");
+        let n = 50_000u64;
+        for i in 0..n {
+            h.insert(i);
+        }
+        let rel = (h.estimate() / n as f64 - 1.0).abs();
+        assert!(rel < 0.4, "relative error {rel} at m=100");
+    }
+}

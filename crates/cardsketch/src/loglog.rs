@@ -1,0 +1,170 @@
+//! LogLog counting (Durand & Flajolet 2003) — the missing link between FM
+//! and HyperLogLog in the paper's related-work lineage (§VI).
+
+use crate::{DistinctCounter, GeometryError};
+use bitpack::PackedArray;
+use hashkit::UserItemHasher;
+
+/// The LogLog bias constant `α̃_m → e^{-γ}·√2 ≈ 0.39701` correction applied
+/// as `α̃ = 0.39701 − (2π² + ln²2)/(48m)` (Durand–Flajolet, Theorem 2 with
+/// the small-m correction term).
+fn loglog_alpha(m: usize) -> f64 {
+    let mf = m as f64;
+    0.397_011_808 - (2.0 * std::f64::consts::PI.powi(2) + (2f64).ln().powi(2)) / (48.0 * mf)
+}
+
+/// A LogLog sketch: `m` registers keep max ranks; the estimator uses the
+/// *geometric* mean `α̃_m · m · 2^{(Σ R_i)/m}` instead of HLL's harmonic
+/// mean, giving `≈1.30/√m` relative error (vs HLL's `1.04/√m`).
+///
+/// Included for the related-work comparison and as a cross-check oracle for
+/// the HLL implementation: both read the same register layout, so agreeing
+/// estimates from two different estimator formulas is strong evidence the
+/// register plumbing is correct.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LogLog {
+    registers: PackedArray,
+    hasher: UserItemHasher,
+    alpha: f64,
+}
+
+impl LogLog {
+    /// Creates a LogLog sketch with `m` registers of `width` bits.
+    ///
+    /// # Errors
+    /// [`GeometryError::EmptySketch`] if `m < 2`.
+    pub fn with_width(m: usize, width: u8, seed: u64) -> Result<Self, GeometryError> {
+        if m < 2 {
+            return Err(GeometryError::EmptySketch);
+        }
+        Ok(Self {
+            registers: PackedArray::new(m, width),
+            hasher: UserItemHasher::new(seed),
+            alpha: loglog_alpha(m),
+        })
+    }
+
+    /// Creates a LogLog sketch with the classic 5-bit registers.
+    ///
+    /// # Errors
+    /// [`GeometryError::EmptySketch`] if `m < 2`.
+    pub fn new(m: usize, seed: u64) -> Result<Self, GeometryError> {
+        Self::with_width(m, 5, seed)
+    }
+
+    /// Number of registers.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Merges a same-seed, same-geometry sketch (element-wise max).
+    ///
+    /// # Panics
+    /// Panics if seeds or geometry differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.hasher, other.hasher, "LogLog merge requires identical seeds");
+        self.registers.merge_max(&other.registers);
+    }
+}
+
+impl DistinctCounter for LogLog {
+    #[inline]
+    fn insert(&mut self, item: u64) -> bool {
+        let (pos, rank) = self.hasher.position_and_rank(item, self.registers.len());
+        let v = u16::from(rank.saturated(self.registers.width()));
+        self.registers.store_max(pos, v).is_some()
+    }
+
+    fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let sum: u64 = self.registers.iter().map(u64::from).sum();
+        if sum == 0 {
+            return 0.0;
+        }
+        self.alpha * m * 2f64.powf(sum as f64 / m)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.registers.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let s = LogLog::new(64, 0).expect("geometry");
+        assert_eq!(s.estimate(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_within_published_error() {
+        // Relative error ≈ 1.30/√m = 8.1% at m=256; allow 3σ.
+        let mut s = LogLog::new(256, 1).expect("geometry");
+        let n = 200_000u64;
+        for i in 0..n {
+            s.insert(i);
+        }
+        let rel = (s.estimate() / n as f64 - 1.0).abs();
+        assert!(rel < 3.0 * 1.30 / 16.0, "relative error {rel}");
+    }
+
+    #[test]
+    fn duplicate_insensitive() {
+        let mut s = LogLog::new(64, 2).expect("geometry");
+        for i in 0..1000u64 {
+            s.insert(i);
+        }
+        let before = s.estimate();
+        for i in 0..1000u64 {
+            assert!(!s.insert(i));
+        }
+        assert_eq!(s.estimate(), before);
+    }
+
+    #[test]
+    fn agrees_with_hll_at_scale() {
+        // Same register layout, different estimator: the two should agree
+        // within their combined error bars.
+        let mut ll = LogLog::with_width(512, 6, 3).expect("geometry");
+        let mut hll = crate::HyperLogLog::new(512, 3).expect("geometry");
+        let n = 300_000u64;
+        for i in 0..n {
+            ll.insert(i);
+            hll.insert(i);
+        }
+        let ratio = ll.estimate() / hll.estimate();
+        assert!(
+            (ratio - 1.0).abs() < 0.25,
+            "LogLog {} vs HLL {}",
+            ll.estimate(),
+            hll.estimate()
+        );
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LogLog::new(128, 9).expect("geometry");
+        let mut b = LogLog::new(128, 9).expect("geometry");
+        let mut u = LogLog::new(128, 9).expect("geometry");
+        for i in 0..20_000u64 {
+            a.insert(i);
+            u.insert(i);
+        }
+        for i in 10_000..30_000u64 {
+            b.insert(i);
+            u.insert(i);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn rejects_tiny_m() {
+        assert!(LogLog::new(1, 0).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Linear-Time Probabilistic Counting (LPC), Whang et al. 1990.
+
+use crate::{DistinctCounter, GeometryError};
+use bitpack::BitArray;
+use hashkit::UserItemHasher;
+
+/// The LPC sketch: an `m`-bit bitmap `B_s`; item `d` sets bit `h(d)`.
+///
+/// With `U` zero bits remaining, the estimator is `n̂ = −m · ln(U/m)`
+/// (paper §III-A1). The estimation range is `[0, m ln m]`: once the bitmap
+/// fills (`U = 0`) the estimate saturates at `m ln m`, which is exactly the
+/// limitation the paper exploits to motivate FreeBS ("CSE has a small
+/// estimation range, i.e., m ln m").
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinearCounting {
+    bits: BitArray,
+    hasher: UserItemHasher,
+}
+
+impl LinearCounting {
+    /// Creates an `m`-bit LPC sketch seeded with `seed`.
+    ///
+    /// # Errors
+    /// [`GeometryError::EmptySketch`] if `m == 0`.
+    pub fn new(m: usize, seed: u64) -> Result<Self, GeometryError> {
+        if m == 0 {
+            return Err(GeometryError::EmptySketch);
+        }
+        Ok(Self {
+            bits: BitArray::new(m),
+            hasher: UserItemHasher::new(seed),
+        })
+    }
+
+    /// Number of bits `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of zero bits `U` (O(1) — the bit array tracks it).
+    #[must_use]
+    pub fn zeros(&self) -> usize {
+        self.bits.zeros()
+    }
+
+    /// Number of zero bits recomputed by a full O(m) popcount scan.
+    ///
+    /// Equal to [`Self::zeros`] by the bit-array invariant; exposed so the
+    /// evaluation harness can charge LPC the O(m) per-update cost the paper
+    /// attributes to it (Fig. 3).
+    #[must_use]
+    pub fn recount_zeros_scan(&self) -> usize {
+        self.bits.recount_zeros()
+    }
+
+    /// The saturation point of the estimator: `m ln m`.
+    #[must_use]
+    pub fn max_estimate(&self) -> f64 {
+        let m = self.m() as f64;
+        m * m.ln()
+    }
+
+    /// Estimates cardinality from a zero count under geometry `m` — shared
+    /// with the virtual-sketch estimators (CSE uses the same formula on its
+    /// virtual bitmap).
+    #[must_use]
+    pub fn estimate_from_zeros(m: usize, zeros: usize) -> f64 {
+        let mf = m as f64;
+        if zeros == 0 {
+            // Saturated: report the top of the estimation range.
+            mf * mf.ln()
+        } else {
+            -mf * ((zeros as f64 / mf).ln())
+        }
+    }
+
+    /// Merges another LPC sketch built with the same seed and geometry
+    /// (bitmap union = sketch of the set union).
+    ///
+    /// # Panics
+    /// Panics if geometries differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.hasher, other.hasher,
+            "merging LPC sketches with different seeds is meaningless"
+        );
+        self.bits.union_with(&other.bits);
+    }
+}
+
+impl DistinctCounter for LinearCounting {
+    #[inline]
+    fn insert(&mut self, item: u64) -> bool {
+        let pos = self.hasher.position(item, self.bits.len());
+        self.bits.set(pos)
+    }
+
+    fn estimate(&self) -> f64 {
+        Self::estimate_from_zeros(self.bits.len(), self.bits.zeros())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.bits.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let s = LinearCounting::new(1024, 0).expect("geometry");
+        assert_eq!(s.estimate(), 0.0);
+    }
+
+    #[test]
+    fn small_counts_are_near_exact() {
+        // With m >> n, LPC behaves like an exact counter.
+        let mut s = LinearCounting::new(1 << 14, 1).expect("geometry");
+        for i in 0..100u64 {
+            s.insert(i);
+        }
+        assert!((s.estimate() - 100.0).abs() < 5.0, "est {}", s.estimate());
+    }
+
+    #[test]
+    fn accuracy_mid_load() {
+        let mut s = LinearCounting::new(1 << 12, 2).expect("geometry");
+        let n = 4000u64; // load factor ~1
+        for i in 0..n {
+            s.insert(i);
+        }
+        let est = s.estimate();
+        assert!((est / n as f64 - 1.0).abs() < 0.05, "est {est}");
+    }
+
+    #[test]
+    fn saturation_at_m_ln_m() {
+        let mut s = LinearCounting::new(64, 3).expect("geometry");
+        for i in 0..100_000u64 {
+            s.insert(i);
+        }
+        assert_eq!(s.zeros(), 0);
+        let expected = 64.0 * 64f64.ln();
+        assert!((s.estimate() - expected).abs() < 1e-9);
+        assert!((s.max_estimate() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_signals_state_change() {
+        let mut s = LinearCounting::new(4096, 4).expect("geometry");
+        assert!(s.insert(1));
+        assert!(!s.insert(1), "duplicate must not change state");
+    }
+
+    #[test]
+    fn estimate_monotone_in_ones() {
+        // More distinct items never lowers the estimate.
+        let mut s = LinearCounting::new(2048, 5).expect("geometry");
+        let mut last = 0.0;
+        for i in 0..2000u64 {
+            s.insert(i);
+            let e = s.estimate();
+            assert!(e >= last - 1e-9);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = LinearCounting::new(4096, 7).expect("geometry");
+        let mut b = LinearCounting::new(4096, 7).expect("geometry");
+        let mut u = LinearCounting::new(4096, 7).expect("geometry");
+        for i in 0..500u64 {
+            a.insert(i);
+            u.insert(i);
+        }
+        for i in 250..750u64 {
+            b.insert(i);
+            u.insert(i);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn zero_m_rejected() {
+        assert_eq!(LinearCounting::new(0, 0).unwrap_err(), GeometryError::EmptySketch);
+    }
+
+    #[test]
+    fn estimate_from_zeros_formula() {
+        // U = m/e  =>  n̂ = m.
+        let m = 1000usize;
+        let zeros = (m as f64 / std::f64::consts::E).round() as usize;
+        let est = LinearCounting::estimate_from_zeros(m, zeros);
+        assert!((est / m as f64 - 1.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,322 @@
+//! Hand-rolled argument parsing (no CLI crates in the offline set).
+
+/// Which estimator to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Parameter-free bit sharing (default).
+    FreeBS,
+    /// Parameter-free register sharing.
+    FreeRS,
+}
+
+impl Method {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s.to_ascii_lowercase().as_str() {
+            "freebs" => Ok(Self::FreeBS),
+            "freers" => Ok(Self::FreeRS),
+            other => Err(ParseError::BadValue {
+                flag: "--method",
+                value: other.to_string(),
+                expected: "freebs|freers",
+            }),
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Estimator choice.
+    pub method: Method,
+    /// Shared-array memory budget in bits.
+    pub memory_bits: usize,
+    /// Hash seed (replayable runs).
+    pub seed: u64,
+}
+
+/// The CLI subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `estimate <file> [--top N]` — per-user cardinalities from an edge file.
+    Estimate {
+        /// Path to the edge file.
+        path: String,
+        /// How many of the heaviest users to print.
+        top: usize,
+    },
+    /// `spreaders <file> --delta D` — super-spreader detection.
+    Spreaders {
+        /// Path to the edge file.
+        path: String,
+        /// Relative threshold Δ ∈ (0, 1).
+        delta: f64,
+    },
+    /// `synth <profile> [--scale N] [--out FILE]` — write a synthetic edge file.
+    Synth {
+        /// Profile name (sanjose, chicago, twitter, flickr, orkut, livejournal).
+        profile: String,
+        /// Extra scale divisor (default: the profile's default scale).
+        scale: Option<u64>,
+        /// Output path (`-` = stdout).
+        out: String,
+    },
+    /// `track <file> --user U [--checkpoints K]` — one user's estimate over time.
+    Track {
+        /// Path to the edge file.
+        path: String,
+        /// The user identifier to follow (matched after hashing).
+        user: String,
+        /// Number of progress rows to print.
+        checkpoints: usize,
+    },
+}
+
+/// Argument errors, with enough structure for exact tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A required positional argument is missing.
+    MissingArg(&'static str),
+    /// A flag needs a value but none followed.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// The flag at fault.
+        flag: &'static str,
+        /// The offending value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+    /// An unrecognized flag.
+    UnknownFlag(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingCommand => write!(f, "missing subcommand (estimate|spreaders|synth|track)"),
+            Self::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
+            Self::MissingArg(a) => write!(f, "missing required argument <{a}>"),
+            Self::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            Self::BadValue { flag, value, expected } => {
+                write!(f, "bad value `{value}` for {flag} (expected {expected})")
+            }
+            Self::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text printed on `--help` or parse failure.
+pub const USAGE: &str = "\
+freesketch-cli — streaming user-cardinality estimation (FreeBS/FreeRS)
+
+USAGE:
+  freesketch-cli estimate  <edges.tsv> [--top N] [common flags]
+  freesketch-cli spreaders <edges.tsv> --delta D [common flags]
+  freesketch-cli synth     <profile> [--scale N] [--out FILE]
+  freesketch-cli track     <edges.tsv> --user ID [--checkpoints K] [common flags]
+
+COMMON FLAGS:
+  --method freebs|freers   estimator (default freebs)
+  --memory BITS            shared-array budget in bits (default 8388608)
+  --seed N                 hash seed (default 42)
+
+Edge files: one `user item` pair per line, `#` comments ignored.";
+
+impl Cli {
+    /// Parses a full argument list (excluding `argv[0]`).
+    ///
+    /// # Errors
+    /// Returns a [`ParseError`] describing the first problem found.
+    pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Self, ParseError> {
+        let mut pos: Vec<&str> = Vec::new();
+        let mut method = Method::FreeBS;
+        let mut memory_bits = 1usize << 23;
+        let mut seed = 42u64;
+        let mut top = 10usize;
+        let mut delta: Option<f64> = None;
+        let mut scale: Option<u64> = None;
+        let mut out = "-".to_string();
+        let mut user: Option<String> = None;
+        let mut checkpoints = 10usize;
+
+        let mut i = 0usize;
+        while i < args.len() {
+            let a = args[i].as_ref();
+            match a {
+                "--method" => method = Method::parse(value(args, &mut i, "--method")?)?,
+                "--memory" => {
+                    memory_bits = parse_num(value(args, &mut i, "--memory")?, "--memory")?
+                }
+                "--seed" => seed = parse_num(value(args, &mut i, "--seed")?, "--seed")?,
+                "--top" => top = parse_num(value(args, &mut i, "--top")?, "--top")?,
+                "--delta" => {
+                    let v = value(args, &mut i, "--delta")?;
+                    delta = Some(v.parse::<f64>().map_err(|_| ParseError::BadValue {
+                        flag: "--delta",
+                        value: v.to_string(),
+                        expected: "a float in (0,1)",
+                    })?);
+                }
+                "--scale" => scale = Some(parse_num(value(args, &mut i, "--scale")?, "--scale")?),
+                "--out" => out = value(args, &mut i, "--out")?.to_string(),
+                "--user" => user = Some(value(args, &mut i, "--user")?.to_string()),
+                "--checkpoints" => {
+                    checkpoints = parse_num(value(args, &mut i, "--checkpoints")?, "--checkpoints")?
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(ParseError::UnknownFlag(flag.to_string()))
+                }
+                p => pos.push(p),
+            }
+            i += 1;
+        }
+
+        let mut pos = pos.into_iter();
+        let command = match pos.next().ok_or(ParseError::MissingCommand)? {
+            "estimate" => Command::Estimate {
+                path: pos.next().ok_or(ParseError::MissingArg("edges.tsv"))?.to_string(),
+                top,
+            },
+            "spreaders" => Command::Spreaders {
+                path: pos.next().ok_or(ParseError::MissingArg("edges.tsv"))?.to_string(),
+                delta: delta.ok_or(ParseError::MissingValue("--delta"))?,
+            },
+            "synth" => Command::Synth {
+                profile: pos.next().ok_or(ParseError::MissingArg("profile"))?.to_string(),
+                scale,
+                out,
+            },
+            "track" => Command::Track {
+                path: pos.next().ok_or(ParseError::MissingArg("edges.tsv"))?.to_string(),
+                user: user.ok_or(ParseError::MissingValue("--user"))?,
+                checkpoints,
+            },
+            other => return Err(ParseError::UnknownCommand(other.to_string())),
+        };
+
+        Ok(Self { command, method, memory_bits, seed })
+    }
+}
+
+fn value<'a, S: AsRef<str>>(
+    args: &'a [S],
+    i: &mut usize,
+    flag: &'static str,
+) -> Result<&'a str, ParseError> {
+    *i += 1;
+    args.get(*i).map(AsRef::as_ref).ok_or(ParseError::MissingValue(flag))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &'static str) -> Result<T, ParseError> {
+    v.parse().map_err(|_| ParseError::BadValue {
+        flag,
+        value: v.to_string(),
+        expected: "a non-negative integer",
+    })
+}
+
+// Re-export for commands.rs.
+pub(crate) use Method as MethodChoice;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_defaults() {
+        let cli = Cli::parse(&["estimate", "edges.tsv"]).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Estimate { path: "edges.tsv".into(), top: 10 }
+        );
+        assert_eq!(cli.method, Method::FreeBS);
+        assert_eq!(cli.memory_bits, 1 << 23);
+        assert_eq!(cli.seed, 42);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let cli = Cli::parse(&[
+            "spreaders", "x.tsv", "--delta", "0.001", "--method", "freers", "--memory",
+            "65536", "--seed", "7",
+        ])
+        .expect("parse");
+        assert_eq!(cli.method, Method::FreeRS);
+        assert_eq!(cli.memory_bits, 65536);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(
+            cli.command,
+            Command::Spreaders { path: "x.tsv".into(), delta: 0.001 }
+        );
+    }
+
+    #[test]
+    fn synth_with_options() {
+        let cli = Cli::parse(&["synth", "orkut", "--scale", "500", "--out", "o.tsv"])
+            .expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Synth { profile: "orkut".into(), scale: Some(500), out: "o.tsv".into() }
+        );
+    }
+
+    #[test]
+    fn track_requires_user() {
+        assert_eq!(
+            Cli::parse(&["track", "x.tsv"]).unwrap_err(),
+            ParseError::MissingValue("--user")
+        );
+        let cli = Cli::parse(&["track", "x.tsv", "--user", "10.0.0.1"]).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Track { path: "x.tsv".into(), user: "10.0.0.1".into(), checkpoints: 10 }
+        );
+    }
+
+    #[test]
+    fn error_variants() {
+        assert_eq!(Cli::parse::<&str>(&[]).unwrap_err(), ParseError::MissingCommand);
+        assert_eq!(
+            Cli::parse(&["frobnicate"]).unwrap_err(),
+            ParseError::UnknownCommand("frobnicate".into())
+        );
+        assert_eq!(
+            Cli::parse(&["estimate"]).unwrap_err(),
+            ParseError::MissingArg("edges.tsv")
+        );
+        assert_eq!(
+            Cli::parse(&["estimate", "x", "--memory"]).unwrap_err(),
+            ParseError::MissingValue("--memory")
+        );
+        assert!(matches!(
+            Cli::parse(&["estimate", "x", "--memory", "lots"]).unwrap_err(),
+            ParseError::BadValue { flag: "--memory", .. }
+        ));
+        assert_eq!(
+            Cli::parse(&["estimate", "x", "--frob"]).unwrap_err(),
+            ParseError::UnknownFlag("--frob".into())
+        );
+    }
+
+    #[test]
+    fn method_is_case_insensitive() {
+        let cli = Cli::parse(&["estimate", "x", "--method", "FreeRS"]).expect("parse");
+        assert_eq!(cli.method, Method::FreeRS);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ParseError::BadValue { flag: "--delta", value: "2".into(), expected: "a float in (0,1)" };
+        assert!(e.to_string().contains("--delta"));
+        assert!(ParseError::MissingCommand.to_string().contains("subcommand"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Subcommand implementations, writing to any `io::Write` so tests can
+//! capture output exactly.
+
+use crate::args::{Cli, Command, MethodChoice};
+use crate::input::{hash_id, read_edges};
+use freesketch::{CardinalityEstimator, FreeBS, FreeRS};
+use graphstream::Edge;
+use std::io::Write;
+
+/// Runs a parsed CLI against an output sink.
+///
+/// # Errors
+/// Returns a boxed error on I/O problems, malformed input files, or unknown
+/// profile names.
+pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
+    match &cli.command {
+        Command::Estimate { path, top } => {
+            let edges = load(path)?;
+            let mut est = build(cli);
+            for e in &edges {
+                est.process(e.user, e.item);
+            }
+            writeln!(
+                out,
+                "{} edges processed with {} ({} bits); total cardinality ≈ {:.0}",
+                edges.len(),
+                est.name(),
+                est.memory_bits(),
+                est.total_estimate()
+            )?;
+            let mut users: Vec<(u64, f64)> = Vec::new();
+            est.for_each_estimate(&mut |u, e| users.push((u, e)));
+            users.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+            writeln!(out, "top {} users by estimated cardinality:", top.min(&users.len()))?;
+            for (u, e) in users.iter().take(*top) {
+                writeln!(out, "  {u:016x}  {e:.1}")?;
+            }
+        }
+        Command::Spreaders { path, delta } => {
+            let edges = load(path)?;
+            let mut est = build(cli);
+            for e in &edges {
+                est.process(e.user, e.item);
+            }
+            let report = freesketch::detect_spreaders(est.as_ref(), *delta);
+            writeln!(
+                out,
+                "threshold = {:.1} (Δ = {delta} × n̂ = {:.0})",
+                report.threshold, report.total_estimate
+            )?;
+            let mut ids: Vec<u64> = report.detected.iter().copied().collect();
+            ids.sort_unstable();
+            writeln!(out, "{} super spreaders detected:", ids.len())?;
+            for u in ids {
+                writeln!(out, "  {u:016x}  {:.1}", est.estimate(u))?;
+            }
+        }
+        Command::Synth { profile, scale, out: out_path } => {
+            let p = graphstream::profiles::by_name(profile)
+                .ok_or_else(|| format!("unknown profile `{profile}` (see Table I)"))?;
+            let stream = p.scaled(scale.unwrap_or(p.default_scale)).generate();
+            let mut sink: Box<dyn Write> = if out_path == "-" {
+                Box::new(out)
+            } else {
+                Box::new(std::io::BufWriter::new(std::fs::File::create(out_path)?))
+            };
+            writeln!(sink, "# synthetic {profile} stream, {} edges", stream.len())?;
+            for e in stream.edges() {
+                writeln!(sink, "{} {}", e.user, e.item)?;
+            }
+            sink.flush()?;
+        }
+        Command::Track { path, user, checkpoints } => {
+            let edges = load(path)?;
+            let uid = resolve_user(&edges, user);
+            let mut est = build(cli);
+            let step = (edges.len() / checkpoints.max(&1)).max(1);
+            writeln!(out, "{:>12}  {:>12}", "edges seen", "estimate")?;
+            for (i, e) in edges.iter().enumerate() {
+                est.process(e.user, e.item);
+                if (i + 1) % step == 0 || i + 1 == edges.len() {
+                    writeln!(out, "{:>12}  {:>12.1}", i + 1, est.estimate(uid))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The tracked user may be given as the original string id (hash it) or as
+/// a raw numeric id already present in the file (synth output).
+fn resolve_user(edges: &[Edge], user: &str) -> u64 {
+    if let Ok(numeric) = user.parse::<u64>() {
+        let as_string = hash_id(user);
+        // Prefer whichever interpretation actually occurs in the stream.
+        if edges.iter().any(|e| e.user == as_string) {
+            return as_string;
+        }
+        return hash_id(&numeric.to_string());
+    }
+    hash_id(user)
+}
+
+fn build(cli: &Cli) -> Box<dyn CardinalityEstimator> {
+    match cli.method {
+        MethodChoice::FreeBS => Box::new(FreeBS::new(cli.memory_bits.max(64), cli.seed)),
+        MethodChoice::FreeRS => {
+            Box::new(FreeRS::new((cli.memory_bits / 5).max(64), cli.seed))
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Vec<Edge>, Box<dyn std::error::Error>> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    Ok(read_edges(std::io::BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn write_temp(content: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "freesketch-cli-test-{}-{}.tsv",
+            std::process::id(),
+            hashkit::splitmix64(content.len() as u64)
+        ));
+        std::fs::write(&path, content).expect("write temp file");
+        path
+    }
+
+    fn run_to_string(args: &[&str]) -> String {
+        let cli = Cli::parse(args).expect("parse");
+        let mut buf = Vec::new();
+        run(&cli, &mut buf).expect("run");
+        String::from_utf8(buf).expect("utf8")
+    }
+
+    #[test]
+    fn estimate_end_to_end() {
+        let mut content = String::new();
+        for d in 0..200 {
+            content.push_str(&format!("alice item{d}\n"));
+        }
+        for d in 0..20 {
+            content.push_str(&format!("bob item{d}\n"));
+        }
+        let path = write_temp(&content);
+        let out = run_to_string(&["estimate", path.to_str().expect("utf8 path"), "--top", "2"]);
+        assert!(out.contains("220 edges processed"));
+        assert!(out.contains("FreeBS"));
+        // alice (200 items) must rank first.
+        let alice = format!("{:016x}", hash_id("alice"));
+        let bob = format!("{:016x}", hash_id("bob"));
+        let alice_pos = out.find(&alice).expect("alice listed");
+        let bob_pos = out.find(&bob).expect("bob listed");
+        assert!(alice_pos < bob_pos, "alice should rank above bob:\n{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn spreaders_end_to_end() {
+        let mut content = String::new();
+        for d in 0..500 {
+            content.push_str(&format!("heavy item{d}\n"));
+        }
+        for u in 0..50 {
+            content.push_str(&format!("light{u} item0\nlight{u} item1\n"));
+        }
+        let path = write_temp(&content);
+        let out = run_to_string(&[
+            "spreaders",
+            path.to_str().expect("utf8 path"),
+            "--delta",
+            "0.2",
+            "--method",
+            "freers",
+        ]);
+        assert!(out.contains("1 super spreaders detected"), "{out}");
+        assert!(out.contains(&format!("{:016x}", hash_id("heavy"))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn synth_then_estimate_round_trip() {
+        let mut synth_out = Vec::new();
+        let cli = Cli::parse(&["synth", "livejournal", "--scale", "40000"]).expect("parse");
+        run(&cli, &mut synth_out).expect("synth");
+        let text = String::from_utf8(synth_out).expect("utf8");
+        assert!(text.lines().count() > 100, "synth produced too few lines");
+
+        let path = write_temp(&text);
+        let out = run_to_string(&["estimate", path.to_str().expect("utf8 path")]);
+        assert!(out.contains("edges processed"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn track_prints_monotone_estimates() {
+        let mut content = String::new();
+        for d in 0..300 {
+            content.push_str(&format!("probe item{d}\n"));
+        }
+        let path = write_temp(&content);
+        let out = run_to_string(&[
+            "track",
+            path.to_str().expect("utf8 path"),
+            "--user",
+            "probe",
+            "--checkpoints",
+            "5",
+        ]);
+        let values: Vec<f64> = out
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
+            .collect();
+        assert!(values.len() >= 5, "{out}");
+        assert!(values.windows(2).all(|w| w[1] >= w[0]), "not monotone: {values:?}");
+        assert!((values.last().expect("non-empty") / 300.0 - 1.0).abs() < 0.1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_profile_errors() {
+        let cli = Cli::parse(&["synth", "nope"]).expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("unknown profile"));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let cli = Cli::parse(&["estimate", "/definitely/not/here.tsv"]).expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("cannot open"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Edge-file parsing: `user <ws> item` lines, string ids hashed to u64.
+
+use graphstream::Edge;
+use hashkit::xxhash64;
+use std::io::BufRead;
+
+/// Seed for hashing string identifiers to `u64`. Fixed so that the same
+/// file always produces the same edge stream across runs and machines.
+pub(crate) const ID_SEED: u64 = 0x1D_5EED;
+
+/// Errors while reading an edge file.
+#[derive(Debug)]
+pub enum EdgeFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A non-comment line did not contain two whitespace-separated fields.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content (truncated).
+        content: String,
+    },
+}
+
+impl std::fmt::Display for EdgeFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Malformed { line, content } => {
+                write!(f, "line {line}: expected `user item`, got `{content}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeFileError {}
+
+impl From<std::io::Error> for EdgeFileError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Hashes a string identifier into the u64 id space.
+#[must_use]
+pub(crate) fn hash_id(id: &str) -> u64 {
+    xxhash64(ID_SEED, id.as_bytes())
+}
+
+/// Parses one line into an edge; `None` for blanks and `#` comments.
+///
+/// # Errors
+/// [`EdgeFileError::Malformed`] when the line has fewer than two fields.
+pub fn parse_edge_line(line: &str, line_no: usize) -> Result<Option<Edge>, EdgeFileError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = trimmed.split_whitespace();
+    let (Some(user), Some(item)) = (fields.next(), fields.next()) else {
+        return Err(EdgeFileError::Malformed {
+            line: line_no,
+            content: trimmed.chars().take(60).collect(),
+        });
+    };
+    Ok(Some(Edge::new(hash_id(user), hash_id(item))))
+}
+
+/// Reads a whole edge file (buffered, one allocation-free line loop).
+///
+/// # Errors
+/// Propagates I/O errors and the first malformed line.
+pub fn read_edges<R: BufRead>(reader: R) -> Result<Vec<Edge>, EdgeFileError> {
+    let mut edges = Vec::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        if let Some(edge) = parse_edge_line(&line, line_no)? {
+            edges.push(edge);
+        }
+    }
+    Ok(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs_and_skips_noise() {
+        let data = "\
+# comment
+10.0.0.1 example.com
+
+10.0.0.1 example.org
+10.0.0.2\texample.com
+";
+        let edges = read_edges(data.as_bytes()).expect("parse");
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0].user, edges[1].user, "same user hashes equally");
+        assert_ne!(edges[0].item, edges[1].item);
+        assert_eq!(edges[0].item, edges[2].item, "same item hashes equally");
+    }
+
+    #[test]
+    fn extra_fields_are_ignored() {
+        let e = parse_edge_line("alice item42 extra stuff", 1)
+            .expect("parse")
+            .expect("edge");
+        assert_eq!(e.user, hash_id("alice"));
+        assert_eq!(e.item, hash_id("item42"));
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = read_edges("a b\nonly_one_field\n".as_bytes()).unwrap_err();
+        match err {
+            EdgeFileError::Malformed { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "only_one_field");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_hashing() {
+        assert_eq!(hash_id("198.51.100.7"), hash_id("198.51.100.7"));
+        assert_ne!(hash_id("a"), hash_id("b"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_stream() {
+        assert!(read_edges("".as_bytes()).expect("parse").is_empty());
+        assert!(read_edges("# only comments\n".as_bytes()).expect("parse").is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! Library half of the `freesketch` CLI: argument parsing, edge-file
+//! parsing, and the four subcommands, all testable without a process spawn.
+//!
+//! File format: one edge per line, `user <whitespace> item`, `#` comments
+//! and blank lines ignored. Identifiers may be arbitrary strings — they are
+//! hashed to `u64` with xxhash64, so IP addresses, URLs and numeric ids all
+//! work unmodified.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod input;
+
+pub use args::{Cli, Command, ParseError, USAGE};
+pub use commands::run;
+pub use input::{parse_edge_line, read_edges, EdgeFileError};

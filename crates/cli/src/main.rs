@@ -1,0 +1,25 @@
+//! `freesketch` — the command-line entry point. All logic lives in the
+//! library half (`freesketch_cli`) so it is unit-testable.
+
+use freesketch_cli::{run, Cli};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", freesketch_cli::USAGE);
+        return;
+    }
+    let cli = match Cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", freesketch_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = run(&cli, &mut lock) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Lock-free concurrent FreeRS, completing the concurrency story started by
+//! [`crate::concurrent::ConcurrentFreeBS`].
+//!
+//! Register max-updates go through CAS on word-aligned packed cells
+//! (`bitpack::AtomicPackedArray`); `Z = Σ 2^{-R}` is maintained as an
+//! atomic-u64-encoded f64 updated by CAS-add with the winner's exact delta,
+//! so — as in the sequential estimator — `Z` is exact once writers quiesce.
+//! Under contention a reader may observe `Z` lagging a few register
+//! growths, perturbing `q` by at most `k/M` for `k` in-flight updates; the
+//! tests bound the end-to-end estimate skew.
+
+use bitpack::AtomicPackedArray;
+use hashkit::{EdgeHasher, FxHashMap};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SHARDS: usize = 64;
+
+/// A thread-safe FreeRS estimator: `&self` processing from many threads.
+#[derive(Debug)]
+pub struct ConcurrentFreeRS {
+    registers: AtomicPackedArray,
+    hasher: EdgeHasher,
+    /// `Z = Σ 2^{-R[j]}`, stored as f64 bits.
+    z_bits: AtomicU64,
+    shards: Vec<Mutex<FxHashMap<u64, f64>>>,
+}
+
+impl ConcurrentFreeRS {
+    /// Creates a concurrent FreeRS over `m_registers` five-bit registers.
+    ///
+    /// # Panics
+    /// Panics if `m_registers == 0`.
+    #[must_use]
+    pub fn new(m_registers: usize, seed: u64) -> Self {
+        let mut shards = Vec::with_capacity(SHARDS);
+        shards.resize_with(SHARDS, || Mutex::new(FxHashMap::default()));
+        Self {
+            registers: AtomicPackedArray::new(m_registers, crate::FreeRS::DEFAULT_WIDTH),
+            hasher: EdgeHasher::new(seed),
+            z_bits: AtomicU64::new((m_registers as f64).to_bits()),
+            shards,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, user: u64) -> &Mutex<FxHashMap<u64, f64>> {
+        let h = hashkit::splitmix64(user);
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    /// The current sampling probability `q_R = Z/M`.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        f64::from_bits(self.z_bits.load(Ordering::Relaxed)) / self.registers.len() as f64
+    }
+
+    /// CAS-add `delta` onto the f64-encoded Z.
+    #[inline]
+    fn add_to_z(&self, delta: f64) {
+        let mut current = self.z_bits.load(Ordering::Relaxed);
+        loop {
+            let updated = (f64::from_bits(current) + delta).to_bits();
+            match self.z_bits.compare_exchange_weak(
+                current,
+                updated,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Observes edge `(user, item)`; callable concurrently.
+    #[inline]
+    pub fn process(&self, user: u64, item: u64) {
+        let (slot, rank) = self
+            .hasher
+            .slot_and_rank(user, item, self.registers.len());
+        let new = u16::from(rank.saturated(self.registers.width()));
+        let q = self.q();
+        if let Some(old) = self.registers.store_max(slot, new) {
+            let inc = 1.0 / q.max(f64::MIN_POSITIVE);
+            *self.shard(user).lock().entry(user).or_insert(0.0) += inc;
+            self.add_to_z(pow2_neg(new) - pow2_neg(old));
+        } else {
+            self.shard(user).lock().entry(user).or_insert(0.0);
+        }
+    }
+
+    /// The current estimate for `user`.
+    #[must_use]
+    pub fn estimate(&self, user: u64) -> f64 {
+        self.shard(user).lock().get(&user).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all user estimates.
+    #[must_use]
+    pub fn total_estimate(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().sum::<f64>())
+            .sum()
+    }
+
+    /// Number of distinct users tracked.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Verifies the incrementally maintained `Z` against an exact register
+    /// scan (quiescent state only); returns the absolute discrepancy.
+    #[must_use]
+    pub fn z_discrepancy(&self) -> f64 {
+        let exact = self.registers.sum_pow2_neg();
+        (f64::from_bits(self.z_bits.load(Ordering::Relaxed)) - exact).abs()
+    }
+}
+
+#[inline]
+fn pow2_neg(v: u16) -> f64 {
+    f64::from_bits((1023u64.saturating_sub(u64::from(v))) << 52)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_tracks_truth() {
+        let c = ConcurrentFreeRS::new(1 << 14, 7);
+        let n = 20_000u64;
+        for d in 0..n {
+            c.process(1, d);
+        }
+        let rel = (c.estimate(1) / n as f64 - 1.0).abs();
+        assert!(rel < 0.1, "relative error {rel}");
+        assert!(c.z_discrepancy() < 1e-9, "Z drift {}", c.z_discrepancy());
+    }
+
+    #[test]
+    fn concurrent_estimates_close_to_truth() {
+        let c = Arc::new(ConcurrentFreeRS::new(1 << 15, 9));
+        let threads = 8;
+        let per_user = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for d in 0..per_user {
+                        c.process(t as u64, d);
+                    }
+                });
+            }
+        });
+        for u in 0..threads as u64 {
+            let rel = (c.estimate(u) / per_user as f64 - 1.0).abs();
+            assert!(rel < 0.15, "user {u}: relative error {rel}");
+        }
+        // Z must be exact after quiescence: every winner applied its own
+        // delta exactly once.
+        assert!(c.z_discrepancy() < 1e-9, "Z drift {}", c.z_discrepancy());
+    }
+
+    #[test]
+    fn duplicates_across_threads_counted_once() {
+        let c = Arc::new(ConcurrentFreeRS::new(1 << 13, 11));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for d in 0..2_000u64 {
+                        c.process(1, d);
+                    }
+                });
+            }
+        });
+        let est = c.estimate(1);
+        assert!(
+            (est / 2_000.0 - 1.0).abs() < 0.15,
+            "estimate {est} should be ~2000 despite 8x duplication"
+        );
+        assert_eq!(c.user_count(), 1);
+    }
+
+    #[test]
+    fn q_starts_at_one() {
+        let c = ConcurrentFreeRS::new(256, 1);
+        assert!((c.q() - 1.0).abs() < 1e-15);
+        c.process(1, 1);
+        assert!(c.q() < 1.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! FreeBS — parameter-free bit sharing (§IV-A, Algorithm 1).
+
+use crate::CardinalityEstimator;
+use bitpack::BitArray;
+use hashkit::{EdgeHasher, FxHashMap};
+
+/// The FreeBS estimator: one shared bit array `B[1..M]`, one counter per
+/// user.
+///
+/// Every edge `e = (s, d)` hashes — as a *pair* — to a single bit
+/// `h*(e) ∈ 1..M`. If the bit flips from 0 to 1, the edge is certainly new,
+/// and user `s`'s counter grows by `1/q_B(t)` where `q_B(t) = m₀(t−1)/M` is
+/// the probability that a new edge hits a zero bit (Horvitz–Thompson).
+/// Duplicate edges re-hit a set bit and are discarded for free.
+///
+/// Properties (Theorem 1): the estimate is **unbiased** for every user at
+/// every time, with variance `Σ_{i∈T_s(t)} E[1/q_B(i)] − n_s(t)`; the
+/// estimation range extends to `M ln M` (vs `m ln m` for CSE); and the
+/// per-edge cost is O(1) — `m₀` is maintained exactly by the bit array.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FreeBS {
+    bits: BitArray,
+    hasher: EdgeHasher,
+    estimates: FxHashMap<u64, f64>,
+    total: f64,
+}
+
+impl FreeBS {
+    /// Creates a FreeBS estimator over `m_bits` shared bits.
+    ///
+    /// # Panics
+    /// Panics if `m_bits == 0`.
+    #[must_use]
+    pub fn new(m_bits: usize, seed: u64) -> Self {
+        Self {
+            bits: BitArray::new(m_bits),
+            hasher: EdgeHasher::new(seed),
+            estimates: FxHashMap::default(),
+            total: 0.0,
+        }
+    }
+
+    /// The shared array size `M`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The current sampling probability `q_B = m₀/M`.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.bits.zero_fraction()
+    }
+
+    /// Number of zero bits `m₀`.
+    #[must_use]
+    pub fn zeros(&self) -> usize {
+        self.bits.zeros()
+    }
+
+    /// The top of the estimation range, `M ln M` (§IV-C): the expected total
+    /// cardinality at which the last zero bit disappears.
+    #[must_use]
+    pub fn max_estimate(&self) -> f64 {
+        let m = self.bits.len() as f64;
+        m * m.ln()
+    }
+
+    /// Number of users currently tracked.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Read-only view of the shared bit array (for tests and diagnostics).
+    #[must_use]
+    pub fn bit_array(&self) -> &BitArray {
+        &self.bits
+    }
+}
+
+impl CardinalityEstimator for FreeBS {
+    #[inline]
+    fn process(&mut self, user: u64, item: u64) {
+        let slot = self.hasher.slot(user, item, self.bits.len());
+        // Algorithm 1: the increment uses m₀ *before* this bit is cleared —
+        // q_B(t) is defined on the state at t−1.
+        let m0 = self.bits.zeros();
+        if self.bits.set(slot) {
+            let inc = self.bits.len() as f64 / m0 as f64;
+            *self.estimates.entry(user).or_insert(0.0) += inc;
+            self.total += inc;
+        } else {
+            // Edge is a duplicate (or a hash collision — indistinguishable,
+            // and exactly the event q_B accounts for): estimate unchanged,
+            // but the user is still registered as seen.
+            self.estimates.entry(user).or_insert(0.0);
+        }
+    }
+
+    #[inline]
+    fn estimate(&self, user: u64) -> f64 {
+        self.estimates.get(&user).copied().unwrap_or(0.0)
+    }
+
+    fn total_estimate(&self) -> f64 {
+        self.total
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
+        for (&u, &e) in &self.estimates {
+            f(u, e);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FreeBS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_user_estimates_zero() {
+        let f = FreeBS::new(1024, 0);
+        assert_eq!(f.estimate(99), 0.0);
+        assert_eq!(f.total_estimate(), 0.0);
+        assert_eq!(f.q(), 1.0);
+    }
+
+    #[test]
+    fn first_edge_counts_exactly_one() {
+        // q(1) = 1, so the first fresh edge adds exactly 1.
+        let mut f = FreeBS::new(1024, 1);
+        f.process(5, 77);
+        assert_eq!(f.estimate(5), 1.0);
+        assert_eq!(f.total_estimate(), 1.0);
+    }
+
+    #[test]
+    fn duplicates_never_increase_estimates() {
+        let mut f = FreeBS::new(4096, 2);
+        for d in 0..100u64 {
+            f.process(1, d);
+        }
+        let before = f.estimate(1);
+        for d in 0..100u64 {
+            f.process(1, d);
+        }
+        assert_eq!(f.estimate(1), before, "duplicates must be absorbed");
+    }
+
+    #[test]
+    fn single_user_accuracy_light_load() {
+        let mut f = FreeBS::new(1 << 16, 3);
+        let n = 5_000u64;
+        for d in 0..n {
+            f.process(1, d);
+        }
+        let rel = (f.estimate(1) / n as f64 - 1.0).abs();
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn multi_user_estimates_sum_to_total() {
+        let mut f = FreeBS::new(1 << 14, 4);
+        for u in 0..50u64 {
+            for d in 0..(u + 1) * 10 {
+                f.process(u, d);
+            }
+        }
+        let mut sum = 0.0;
+        f.for_each_estimate(&mut |_, e| sum += e);
+        assert!((sum - f.total_estimate()).abs() < 1e-6);
+        assert_eq!(f.user_count(), 50);
+    }
+
+    #[test]
+    fn unbiased_over_seeds() {
+        // Theorem 1: E[n̂_s] = n_s. Average over many independent seeds and
+        // check the grand mean is within 4 standard errors.
+        let n = 400u64;
+        let m = 2048usize; // deliberately small so q drops well below 1
+        let seeds = 300u64;
+        let mut mean = 0.0;
+        let mut estimates = Vec::with_capacity(seeds as usize);
+        for seed in 0..seeds {
+            let mut f = FreeBS::new(m, seed * 7 + 1);
+            // Two users sharing the array so noise is present.
+            for d in 0..n {
+                f.process(1, d);
+                f.process(2, d.wrapping_mul(31) ^ 0xABCD);
+            }
+            estimates.push(f.estimate(1));
+            mean += f.estimate(1);
+        }
+        mean /= seeds as f64;
+        let var: f64 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
+            / (seeds as f64 - 1.0);
+        let se = (var / seeds as f64).sqrt();
+        assert!(
+            (mean - n as f64).abs() < 4.0 * se + 1.0,
+            "mean {mean} vs true {n} (se {se})"
+        );
+    }
+
+    #[test]
+    fn q_decreases_monotonically() {
+        let mut f = FreeBS::new(512, 6);
+        let mut last_q = f.q();
+        for d in 0..2000u64 {
+            f.process(1, d);
+            let q = f.q();
+            assert!(q <= last_q);
+            last_q = q;
+        }
+        assert!(last_q < 0.1, "array should be nearly full, q={last_q}");
+    }
+
+    #[test]
+    fn estimation_range_exceeds_m() {
+        // With n >> M the estimate can exceed M (up to M ln M) — CSE cannot
+        // do this with m << M.
+        let m = 1024usize;
+        let mut f = FreeBS::new(m, 7);
+        let n = 4000u64;
+        for d in 0..n {
+            f.process(1, d);
+        }
+        assert!(f.estimate(1) > m as f64, "estimate {} stuck below M", f.estimate(1));
+        assert!(f.estimate(1) < f.max_estimate());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = FreeBS::new(4096, 9);
+        let mut b = FreeBS::new(4096, 9);
+        for d in 0..500u64 {
+            a.process(d % 7, d);
+            b.process(d % 7, d);
+        }
+        for u in 0..7u64 {
+            assert_eq!(a.estimate(u), b.estimate(u));
+        }
+    }
+
+    #[test]
+    fn estimates_monotone_over_time() {
+        let mut f = FreeBS::new(2048, 11);
+        let mut last = 0.0;
+        for d in 0..1000u64 {
+            f.process(3, d);
+            let e = f.estimate(3);
+            assert!(e >= last);
+            last = e;
+        }
+    }
+}

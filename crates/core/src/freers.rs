@@ -1,0 +1,312 @@
+//! FreeRS — parameter-free register sharing (§IV-B, Algorithm 2).
+
+use crate::CardinalityEstimator;
+use bitpack::PackedArray;
+use hashkit::{EdgeHasher, FxHashMap};
+
+/// How many register-growth events may pass between exact recomputations of
+/// `Z = Σ_j 2^{-R[j]}`. Each incremental update adds one rounding error of
+/// at most ~2⁻⁵³·M, so a 2²⁰ window keeps the accumulated drift far below
+/// any estimate's noise floor; the rebuild is O(M) but amortizes to ~0.
+const Z_REBUILD_INTERVAL: u64 = 1 << 20;
+
+/// The FreeRS estimator: one shared array of `M` w-bit registers, one
+/// counter per user.
+///
+/// Every edge hashes to a register `h*(e)` and a Geometric(1/2) rank
+/// `ρ*(e)`. If the rank exceeds the register, the register grows and user
+/// `s`'s counter grows by `1/q_R(t)` where `q_R(t) = (Σ_j 2^{-R[j]})/M` is
+/// the probability that a new edge grows *some* register. `Z = Σ 2^{-R[j]}`
+/// is maintained incrementally in O(1) (with periodic exact rebuilds to
+/// cancel floating-point drift), so the per-edge cost is O(1).
+///
+/// Properties (Theorem 2): unbiased at every time for every user; variance
+/// `Σ_{i∈T_s(t)} E[1/q_R(i)] − n_s(t)` with
+/// `E[1/q_R] ≈ 1.386·n/M` for `n > 2.5M`; estimation range `≈ 2^(2^w)`.
+///
+/// ```
+/// use freesketch::{CardinalityEstimator, FreeRS};
+///
+/// let mut frs = FreeRS::new(1 << 14, 7); // 16k five-bit registers = 10 KiB
+/// for item in 0..50_000u64 {
+///     frs.process(1, item);
+/// }
+/// assert!((frs.estimate(1) / 50_000.0 - 1.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FreeRS {
+    registers: PackedArray,
+    hasher: EdgeHasher,
+    estimates: FxHashMap<u64, f64>,
+    /// Incrementally maintained `Z = Σ_j 2^{-R[j]}`.
+    z: f64,
+    total: f64,
+    growths_since_rebuild: u64,
+}
+
+impl FreeRS {
+    /// The paper's register width: 5 bits (§V-B).
+    pub const DEFAULT_WIDTH: u8 = 5;
+
+    /// Creates a FreeRS estimator over `m_registers` registers of
+    /// [`Self::DEFAULT_WIDTH`] bits.
+    ///
+    /// # Panics
+    /// Panics if `m_registers == 0`.
+    #[must_use]
+    pub fn new(m_registers: usize, seed: u64) -> Self {
+        Self::with_width(m_registers, Self::DEFAULT_WIDTH, seed)
+    }
+
+    /// Creates a FreeRS estimator with an explicit register width (the
+    /// ablation A2 sweeps this).
+    ///
+    /// # Panics
+    /// Panics if `m_registers == 0` or `width ∉ 1..=16`.
+    #[must_use]
+    pub fn with_width(m_registers: usize, width: u8, seed: u64) -> Self {
+        let registers = PackedArray::new(m_registers, width);
+        let z = m_registers as f64;
+        Self {
+            registers,
+            hasher: EdgeHasher::new(seed),
+            estimates: FxHashMap::default(),
+            z,
+            total: 0.0,
+            growths_since_rebuild: 0,
+        }
+    }
+
+    /// The number of shared registers `M`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Register width `w` in bits.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.registers.width()
+    }
+
+    /// The current sampling probability `q_R = Z/M`.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.z / self.registers.len() as f64
+    }
+
+    /// Number of users currently tracked.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Recomputes `Z` exactly and returns the absolute drift the incremental
+    /// value had accumulated (exposed for the drift ablation and tests).
+    pub fn rebuild_z(&mut self) -> f64 {
+        let exact = self.registers.sum_pow2_neg();
+        let drift = (self.z - exact).abs();
+        self.z = exact;
+        self.growths_since_rebuild = 0;
+        drift
+    }
+
+    /// Read-only view of the shared registers.
+    #[must_use]
+    pub fn registers(&self) -> &PackedArray {
+        &self.registers
+    }
+}
+
+impl CardinalityEstimator for FreeRS {
+    #[inline]
+    fn process(&mut self, user: u64, item: u64) {
+        let (slot, rank) = self
+            .hasher
+            .slot_and_rank(user, item, self.registers.len());
+        let new = u16::from(rank.saturated(self.registers.width()));
+        if let Some(old) = self.registers.store_max(slot, new) {
+            // The text of §IV-B defines q_R(t) on the registers *before*
+            // observing e(t) (that is what makes E[ξ|q] = q and the HT sum
+            // unbiased), so the increment reads Z before applying the
+            // register's delta. (Algorithm 2's pseudo-code updates q first —
+            // a one-register discrepancy from the text; we follow the text,
+            // mirroring Algorithm 1's use of the pre-update m₀.)
+            let q = self.z / self.registers.len() as f64;
+            let inc = 1.0 / q;
+            *self.estimates.entry(user).or_insert(0.0) += inc;
+            self.total += inc;
+            self.z += pow2_neg(new) - pow2_neg(old);
+            self.growths_since_rebuild += 1;
+            if self.growths_since_rebuild >= Z_REBUILD_INTERVAL {
+                self.rebuild_z();
+            }
+        } else {
+            self.estimates.entry(user).or_insert(0.0);
+        }
+    }
+
+    #[inline]
+    fn estimate(&self, user: u64) -> f64 {
+        self.estimates.get(&user).copied().unwrap_or(0.0)
+    }
+
+    fn total_estimate(&self) -> f64 {
+        self.total
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.registers.len() * usize::from(self.registers.width())
+    }
+
+    fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
+        for (&u, &e) in &self.estimates {
+            f(u, e);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FreeRS"
+    }
+}
+
+/// `2^{-v}` by exponent manipulation (exact for all register values).
+#[inline]
+fn pow2_neg(v: u16) -> f64 {
+    f64::from_bits((1023u64.saturating_sub(u64::from(v))) << 52)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_user_estimates_zero() {
+        let f = FreeRS::new(1024, 0);
+        assert_eq!(f.estimate(42), 0.0);
+        assert_eq!(f.q(), 1.0, "all-zero registers give q = 1");
+    }
+
+    #[test]
+    fn first_edge_counts_exactly_one() {
+        let mut f = FreeRS::new(1024, 1);
+        f.process(5, 99);
+        assert_eq!(f.estimate(5), 1.0);
+    }
+
+    #[test]
+    fn duplicates_never_increase_estimates() {
+        let mut f = FreeRS::new(4096, 2);
+        for d in 0..200u64 {
+            f.process(1, d);
+        }
+        let before = f.estimate(1);
+        for d in 0..200u64 {
+            f.process(1, d);
+        }
+        assert_eq!(f.estimate(1), before);
+    }
+
+    #[test]
+    fn incremental_z_matches_exact() {
+        let mut f = FreeRS::new(2048, 3);
+        for u in 0..20u64 {
+            for d in 0..500u64 {
+                f.process(u, d.wrapping_mul(u + 1));
+            }
+        }
+        let drift = f.rebuild_z();
+        assert!(drift < 1e-9, "Z drift {drift} too large");
+    }
+
+    #[test]
+    fn single_user_accuracy() {
+        let mut f = FreeRS::new(1 << 14, 4);
+        let n = 20_000u64;
+        for d in 0..n {
+            f.process(1, d);
+        }
+        let rel = (f.estimate(1) / n as f64 - 1.0).abs();
+        assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn estimates_beyond_saturation_range_of_bits() {
+        // FreeRS's range is ~2^2^w; with M = 1024 registers it can absorb
+        // n >> M ln M where FreeBS would saturate.
+        let m = 1024usize;
+        let mut f = FreeRS::new(m, 5);
+        let n = 60_000u64; // ≈ 8.6 × M ln M
+        for d in 0..n {
+            f.process(1, d);
+        }
+        let rel = (f.estimate(1) / n as f64 - 1.0).abs();
+        assert!(rel < 0.25, "relative error {rel} at n >> M ln M");
+    }
+
+    #[test]
+    fn unbiased_over_seeds() {
+        // Theorem 2: E[n̂_s] = n_s.
+        let n = 400u64;
+        let m = 512usize;
+        let seeds = 300u64;
+        let mut mean = 0.0;
+        let mut all = Vec::with_capacity(seeds as usize);
+        for seed in 0..seeds {
+            let mut f = FreeRS::new(m, seed * 13 + 5);
+            for d in 0..n {
+                f.process(1, d);
+                f.process(2, d.wrapping_mul(17) ^ 0x5a5a);
+            }
+            all.push(f.estimate(1));
+            mean += f.estimate(1);
+        }
+        mean /= seeds as f64;
+        let var: f64 =
+            all.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (seeds as f64 - 1.0);
+        let se = (var / seeds as f64).sqrt();
+        assert!(
+            (mean - n as f64).abs() < 4.0 * se + 1.0,
+            "mean {mean} vs true {n} (se {se})"
+        );
+    }
+
+    #[test]
+    fn q_decreases_monotonically() {
+        let mut f = FreeRS::new(256, 6);
+        let mut last = f.q();
+        for d in 0..5000u64 {
+            f.process(1, d);
+            let q = f.q();
+            assert!(q <= last + 1e-12);
+            last = q;
+        }
+        assert!(last < 0.5);
+    }
+
+    #[test]
+    fn width_sweep_constructs() {
+        for w in [4u8, 5, 6, 8] {
+            let mut f = FreeRS::with_width(512, w, 7);
+            for d in 0..1000u64 {
+                f.process(1, d);
+            }
+            assert!(f.estimate(1) > 0.0);
+            assert_eq!(f.memory_bits(), 512 * usize::from(w));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = FreeRS::new(2048, 9);
+        let mut b = FreeRS::new(2048, 9);
+        for d in 0..1000u64 {
+            a.process(d % 5, d);
+            b.process(d % 5, d);
+        }
+        for u in 0..5u64 {
+            assert_eq!(a.estimate(u), b.estimate(u));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! JointLPC — the two-dimensional bit-array predecessor of CSE
+//! (Zhao, Kumar & Xu, SIGCOMM 2005; discussed in §VI of the paper).
+//!
+//! Structure, as §VI describes it: a *list* of LPC sketches (a 2-D bit
+//! array of `rows × m` bits); each user selects `k` sketches (typically
+//! `k ∈ {2, 3}`) from the list by hashing, and every edge updates the item
+//! position in **all k** of the user's sketches. Since whole sketches are
+//! shared between colliding users, each of a user's sketches contains the
+//! user's items plus the items of every other user mapped to the same row.
+//!
+//! Estimator: per selected sketch, an LPC estimate corrected by the
+//! expected noise (the average load a single sketch absorbs from the rest
+//! of the stream — the same correction family Zhao et al. derive), then the
+//! **minimum** across the user's `k` sketches, since each sketch's content
+//! is a superset of the user's items and the least-loaded copy carries the
+//! least noise. Zhao et al.'s full MLE couples the `k` copies more tightly;
+//! the min-of-corrected-copies form preserves the method's structure and
+//! its qualitative behaviour (intermediate between per-user LPC and CSE),
+//! which is all the paper's §VI comparison asserts.
+
+use crate::CardinalityEstimator;
+use bitpack::BitArray;
+use cardsketch::LinearCounting;
+use hashkit::{FxHashMap, HashFamily, UserItemHasher};
+
+/// The JointLPC baseline: `rows` LPC sketches of `m` bits each; every user
+/// writes through `k` of them.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JointLpc {
+    /// One bit array holding all rows contiguously (`rows * m` bits).
+    bits: BitArray,
+    rows: usize,
+    m: usize,
+    /// Selects each user's k rows.
+    row_family: HashFamily,
+    item_hasher: UserItemHasher,
+    estimates: FxHashMap<u64, f64>,
+    /// Distinct-pair insertions per row (for the noise correction).
+    row_loads: Vec<u64>,
+    total_load: u64,
+}
+
+impl JointLpc {
+    /// Creates a JointLPC estimator: `m_bits` total budget split into rows
+    /// of `m` bits, each user using `k` rows.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (`m == 0`, `k == 0`, or fewer
+    /// than `k` rows fit in the budget).
+    #[must_use]
+    pub fn new(m_bits: usize, m: usize, k: usize, seed: u64) -> Self {
+        assert!(m > 0, "row size m must be positive");
+        assert!(k > 0, "k must be positive");
+        let rows = m_bits / m;
+        assert!(
+            rows >= k,
+            "budget {m_bits} holds only {rows} rows of {m} bits; need at least k = {k}"
+        );
+        Self {
+            bits: BitArray::new(rows * m),
+            rows,
+            m,
+            row_family: HashFamily::new(seed ^ 0x5A40_0001, k, rows),
+            item_hasher: UserItemHasher::new(seed ^ 0x5A40_0002),
+            estimates: FxHashMap::default(),
+            row_loads: vec![0; rows],
+            total_load: 0,
+        }
+    }
+
+    /// Number of rows (LPC sketches in the list).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Sketches per user, `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.row_family.arity()
+    }
+
+    /// Fresh O(k·m) estimate: min over the user's rows of the
+    /// noise-corrected LPC estimate.
+    ///
+    /// Each row's LPC estimate covers the user's items *plus* the items of
+    /// every other user hashed to the same row. A row's expected noise is
+    /// `n̂ · k / rows` (every distinct pair writes `k` of the `rows`
+    /// sketches), with `n̂` the global distinct-pair estimate — the same
+    /// load-proportional correction family Zhao et al. derive. Taking the
+    /// minimum over the user's `k` rows picks the least-contaminated copy.
+    #[must_use]
+    pub fn estimate_fresh(&self, user: u64) -> f64 {
+        let expected_noise = self.total_estimate() * self.k() as f64 / self.rows as f64;
+        let mut best = f64::INFINITY;
+        for row in self.row_family.cells(user) {
+            let zeros = (row * self.m..(row + 1) * self.m)
+                .filter(|&i| !self.bits.get(i))
+                .count();
+            let raw = LinearCounting::estimate_from_zeros(self.m, zeros);
+            best = best.min((raw - expected_noise).max(0.0));
+        }
+        if best.is_finite() {
+            best
+        } else {
+            0.0
+        }
+    }
+}
+
+impl CardinalityEstimator for JointLpc {
+    fn process(&mut self, user: u64, item: u64) {
+        let pos = self.item_hasher.position(item, self.m);
+        for row in self.row_family.cells(user) {
+            if self.bits.set(row * self.m + pos) {
+                self.row_loads[row] += 1;
+                self.total_load += 1;
+            }
+        }
+        let fresh = self.estimate_fresh(user);
+        self.estimates.insert(user, fresh);
+    }
+
+    fn estimate(&self, user: u64) -> f64 {
+        self.estimates.get(&user).copied().unwrap_or(0.0)
+    }
+
+    fn total_estimate(&self) -> f64 {
+        // Global LPC estimate over the whole 2-D array, divided by k since
+        // every distinct pair writes k bits.
+        let m_total = self.bits.len() as f64;
+        let zeros = self.bits.zeros();
+        let global = if zeros == 0 {
+            m_total * m_total.ln()
+        } else {
+            -m_total * (zeros as f64 / m_total).ln()
+        };
+        global / self.k() as f64
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
+        for (&u, &e) in &self.estimates {
+            f(u, e);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "JointLPC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_user_estimates_zero() {
+        let j = JointLpc::new(1 << 16, 1024, 2, 0);
+        assert_eq!(j.estimate(5), 0.0);
+        assert_eq!(j.estimate_fresh(5), 0.0);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let j = JointLpc::new(1 << 16, 1024, 3, 0);
+        assert_eq!(j.rows(), 64);
+        assert_eq!(j.k(), 3);
+        assert_eq!(j.memory_bits(), 64 * 1024);
+    }
+
+    #[test]
+    fn single_user_tracks_truth() {
+        let mut j = JointLpc::new(1 << 18, 4096, 2, 1);
+        let n = 800u64;
+        for d in 0..n {
+            j.process(1, d);
+        }
+        let rel = (j.estimate(1) / n as f64 - 1.0).abs();
+        assert!(rel < 0.15, "relative error {rel}");
+    }
+
+    #[test]
+    fn duplicates_do_not_move_estimates() {
+        let mut j = JointLpc::new(1 << 14, 512, 2, 2);
+        for d in 0..100u64 {
+            j.process(1, d);
+        }
+        let before = j.estimate_fresh(1);
+        for d in 0..100u64 {
+            j.process(1, d);
+        }
+        assert_eq!(j.estimate_fresh(1), before);
+    }
+
+    #[test]
+    fn sharing_noise_is_partially_corrected() {
+        let mut j = JointLpc::new(1 << 14, 256, 2, 3);
+        let n = 50u64;
+        for d in 0..n {
+            j.process(1, d);
+        }
+        for u in 2..500u64 {
+            for d in 0..10u64 {
+                j.process(u, d.wrapping_mul(u) ^ 0xC0DE);
+            }
+        }
+        let est = j.estimate_fresh(1);
+        // Even the min-of-k copies carries residual noise: accept a wide
+        // band, but it must be within a small multiple of truth and not
+        // collapse to zero.
+        assert!(est > 0.0, "estimate collapsed");
+        assert!(est < 6.0 * n as f64, "estimate {est} vs true {n}");
+    }
+
+    #[test]
+    fn range_capped_like_all_lpc_methods() {
+        let mut j = JointLpc::new(1 << 14, 64, 2, 4);
+        for d in 0..50_000u64 {
+            j.process(1, d);
+        }
+        let cap = 64.0 * 64f64.ln();
+        assert!(j.estimate(1) <= cap + 1e-9, "estimate {}", j.estimate(1));
+    }
+
+    #[test]
+    fn total_estimate_in_right_ballpark() {
+        let mut j = JointLpc::new(1 << 16, 1024, 2, 5);
+        let mut distinct = 0u64;
+        for u in 0..100u64 {
+            for d in 0..30u64 {
+                j.process(u, d.wrapping_mul(u + 1));
+                distinct += 1;
+            }
+        }
+        let rel = (j.total_estimate() / distinct as f64 - 1.0).abs();
+        assert!(rel < 0.35, "total {} vs distinct {distinct}", j.total_estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k")]
+    fn too_few_rows_rejected() {
+        let _ = JointLpc::new(1024, 1024, 2, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Super-spreader detection over time (§V-F case study).
+//!
+//! A super spreader at time `t` is a user with cardinality at least
+//! `Δ·n(t)`, where `n(t)` is the total cardinality and `0 < Δ < 1` a
+//! relative threshold. The detector asks an estimator for its per-user
+//! estimates and its own `n(t)` estimate and reports everything above the
+//! induced absolute threshold.
+
+use crate::CardinalityEstimator;
+use hashkit::FxHashSet;
+
+/// The result of one detection pass.
+#[derive(Debug, Clone)]
+pub struct SpreaderReport {
+    /// Users whose *estimated* cardinality cleared the threshold.
+    pub detected: FxHashSet<u64>,
+    /// The absolute threshold `Δ·n̂(t)` that was applied.
+    pub threshold: f64,
+    /// The estimator's `n̂(t)` at detection time.
+    pub total_estimate: f64,
+}
+
+/// Runs relative-threshold detection on any estimator.
+///
+/// ```
+/// use freesketch::{detect_spreaders, CardinalityEstimator, FreeBS};
+///
+/// let mut est = FreeBS::new(1 << 16, 1);
+/// for item in 0..1000u64 {
+///     est.process(0, item);           // the spreader
+/// }
+/// for u in 1..50u64 {
+///     est.process(u, 1);              // background users
+/// }
+/// let report = detect_spreaders(&est, 0.1);
+/// assert!(report.detected.contains(&0));
+/// assert_eq!(report.detected.len(), 1);
+/// ```
+///
+/// # Panics
+/// Panics if `delta ∉ (0, 1)`.
+#[must_use]
+pub fn detect_spreaders<E: CardinalityEstimator + ?Sized>(est: &E, delta: f64) -> SpreaderReport {
+    assert!(delta > 0.0 && delta < 1.0, "relative threshold must be in (0,1)");
+    let total_estimate = est.total_estimate();
+    let threshold = delta * total_estimate;
+    let mut detected = FxHashSet::default();
+    est.for_each_estimate(&mut |user, e| {
+        if e >= threshold {
+            detected.insert(user);
+        }
+    });
+    SpreaderReport {
+        detected,
+        threshold,
+        total_estimate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FreeBS;
+
+    fn build_stream(est: &mut FreeBS) {
+        // One heavy user (1000 items) among 99 light users (10 items each):
+        // total ≈ 1990, so Δ=0.1 ⇒ threshold ≈ 199 catches only the heavy.
+        for d in 0..1000u64 {
+            est.process(0, d);
+        }
+        for u in 1..100u64 {
+            for d in 0..10u64 {
+                est.process(u, d.wrapping_mul(u) ^ (u << 32));
+            }
+        }
+    }
+
+    #[test]
+    fn detects_heavy_user_only() {
+        let mut f = FreeBS::new(1 << 16, 1);
+        build_stream(&mut f);
+        let report = detect_spreaders(&f, 0.1);
+        assert!(report.detected.contains(&0), "heavy user missed");
+        assert_eq!(report.detected.len(), 1, "{:?}", report.detected);
+        assert!(report.threshold > 100.0);
+    }
+
+    #[test]
+    fn lower_delta_catches_more() {
+        let mut f = FreeBS::new(1 << 16, 2);
+        build_stream(&mut f);
+        let strict = detect_spreaders(&f, 0.4).detected.len();
+        let loose = detect_spreaders(&f, 0.001).detected.len();
+        assert!(loose > strict);
+        assert_eq!(loose, 100, "Δ=0.1% admits every user here");
+    }
+
+    #[test]
+    fn works_through_trait_object() {
+        let mut f = FreeBS::new(1 << 14, 3);
+        f.process(1, 1);
+        let dyn_est: &dyn crate::CardinalityEstimator = &f;
+        let report = detect_spreaders(dyn_est, 0.5);
+        assert_eq!(report.detected.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative threshold")]
+    fn delta_out_of_range_rejected() {
+        let f = FreeBS::new(64, 0);
+        let _ = detect_spreaders(&f, 1.5);
+    }
+
+    #[test]
+    fn empty_estimator_reports_nothing() {
+        let f = FreeBS::new(64, 0);
+        let report = detect_spreaders(&f, 0.5);
+        assert!(report.detected.is_empty());
+        assert_eq!(report.total_estimate, 0.0);
+    }
+}

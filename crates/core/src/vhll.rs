@@ -1,0 +1,299 @@
+//! vHLL — virtual HyperLogLog (Xiao, Chen, Chen & Ling, SIGMETRICS 2015),
+//! the register-sharing baseline of §III-B2.
+
+use crate::CardinalityEstimator;
+use bitpack::PackedArray;
+use cardsketch::{alpha_m, HyperLogLog};
+use hashkit::{FxHashMap, HashFamily, UserItemHasher};
+
+/// The vHLL baseline: every user owns a *virtual* HLL sketch of `m`
+/// registers drawn from a shared array of `M` registers by
+/// `f_1(s)…f_m(s)`.
+///
+/// Edge `(s, d)` max-updates register `R[f_{h(d)}(s)]` with rank `ρ(d)`.
+/// The estimator subtracts the expected noise other users leave in the
+/// user's registers:
+///
+/// ```text
+/// n̂_s = M/(M−m) · ( α_m m²/Σ_{i∈virtual} 2^{−R} − (m/M)·α_M M²/Σ_{all} 2^{−R} )
+/// ```
+///
+/// with the first term replaced by the linear-counting fallback when it
+/// falls below `2.5m` (same switch as regular HLL). Refreshing a counter
+/// costs **O(m)**; the global `Σ 2^{−R}` is maintained incrementally.
+///
+/// ```
+/// use freesketch::{CardinalityEstimator, VHll};
+///
+/// let mut vhll = VHll::new(1 << 14, 512, 1); // 16k registers, m = 512
+/// for item in 0..5_000u64 {
+///     vhll.process(9, item);
+/// }
+/// assert!((vhll.estimate(9) / 5_000.0 - 1.0).abs() < 0.25);
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VHll {
+    registers: PackedArray,
+    family: HashFamily,
+    item_hasher: UserItemHasher,
+    estimates: FxHashMap<u64, f64>,
+    alpha_virtual: f64,
+    alpha_global: f64,
+    /// Incrementally maintained global `Σ_j 2^{-R[j]}`.
+    z_global: f64,
+    /// Incrementally maintained count of zero registers (for the global
+    /// estimate's small-range fallback).
+    zeros_global: usize,
+}
+
+impl VHll {
+    /// The paper's register width: 5 bits (§V-B).
+    pub const DEFAULT_WIDTH: u8 = 5;
+
+    /// Creates a vHLL estimator: `m_registers` shared 5-bit registers,
+    /// virtual sketches of `m` registers each.
+    ///
+    /// # Panics
+    /// Panics if `m < 2`, `m >= m_registers`, or `m_registers == 0`.
+    #[must_use]
+    pub fn new(m_registers: usize, m: usize, seed: u64) -> Self {
+        Self::with_width(m_registers, m, Self::DEFAULT_WIDTH, seed)
+    }
+
+    /// Creates a vHLL estimator with explicit register width.
+    ///
+    /// # Panics
+    /// Panics if `m < 2`, `m >= m_registers`, or `width ∉ 1..=16`.
+    #[must_use]
+    pub fn with_width(m_registers: usize, m: usize, width: u8, seed: u64) -> Self {
+        assert!(m >= 2, "virtual sketch needs at least 2 registers");
+        assert!(
+            m < m_registers,
+            "virtual size m={m} must be smaller than the shared array {m_registers}"
+        );
+        Self {
+            registers: PackedArray::new(m_registers, width),
+            family: HashFamily::new(seed ^ 0x7011_0001, m, m_registers),
+            item_hasher: UserItemHasher::new(seed ^ 0x7011_0002),
+            estimates: FxHashMap::default(),
+            alpha_virtual: alpha_m(m),
+            alpha_global: alpha_m(m_registers),
+            z_global: m_registers as f64,
+            zeros_global: m_registers,
+        }
+    }
+
+    /// The virtual-sketch size `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.family.arity()
+    }
+
+    /// Freshly computed estimate for `user` — the O(m) path.
+    #[must_use]
+    pub fn estimate_fresh(&self, user: u64) -> f64 {
+        let m = self.m();
+        let mf = m as f64;
+        let m_total = self.registers.len() as f64;
+
+        let mut z_virtual = 0.0f64;
+        let mut zeros = 0usize;
+        for cell in self.family.cells(user) {
+            let r = self.registers.load(cell);
+            z_virtual += pow2_neg(r);
+            zeros += usize::from(r == 0);
+        }
+
+        // First term: the user's own (noisy) HLL estimate, with the regular
+        // HLL small-range fallback.
+        let own = HyperLogLog::estimate_from_state(m, self.alpha_virtual, z_virtual, zeros);
+        // Second term: expected noise = (m/M) × global estimate.
+        let noise = mf * self.global_estimate() / m_total;
+        ((m_total / (m_total - mf)) * (own - noise)).max(0.0)
+    }
+
+    /// The global HLL estimate of `n(t)` over the whole shared array, with
+    /// the same small-range linear-counting fallback regular HLL uses (the
+    /// raw harmonic estimator is badly biased while most registers are
+    /// zero, which would poison the noise term for lightly loaded arrays).
+    #[must_use]
+    pub fn global_estimate(&self) -> f64 {
+        if self.zeros_global == self.registers.len() {
+            return 0.0;
+        }
+        HyperLogLog::estimate_from_state(
+            self.registers.len(),
+            self.alpha_global,
+            self.z_global,
+            self.zeros_global,
+        )
+    }
+}
+
+impl CardinalityEstimator for VHll {
+    #[inline]
+    fn process(&mut self, user: u64, item: u64) {
+        let (i, rank) = self
+            .item_hasher
+            .position_and_rank(item, self.family.arity());
+        let cell = self.family.cell(user, i);
+        let new = u16::from(rank.saturated(self.registers.width()));
+        if let Some(old) = self.registers.store_max(cell, new) {
+            self.z_global += pow2_neg(new) - pow2_neg(old);
+            self.zeros_global -= usize::from(old == 0);
+        }
+        // §V-B streaming harness: refresh only this user's counter (O(m)).
+        let fresh = self.estimate_fresh(user);
+        self.estimates.insert(user, fresh);
+    }
+
+    #[inline]
+    fn estimate(&self, user: u64) -> f64 {
+        self.estimates.get(&user).copied().unwrap_or(0.0)
+    }
+
+    fn total_estimate(&self) -> f64 {
+        self.global_estimate()
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.registers.len() * usize::from(self.registers.width())
+    }
+
+    fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
+        for (&u, &e) in &self.estimates {
+            f(u, e);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "vHLL"
+    }
+}
+
+/// `2^{-v}` by exponent manipulation.
+#[inline]
+fn pow2_neg(v: u16) -> f64 {
+    f64::from_bits((1023u64.saturating_sub(u64::from(v))) << 52)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_user_estimates_zero() {
+        let v = VHll::new(1 << 12, 128, 0);
+        assert_eq!(v.estimate(3), 0.0);
+    }
+
+    #[test]
+    fn single_user_accuracy_no_noise() {
+        let mut v = VHll::new(1 << 14, 1024, 1);
+        let n = 5_000u64;
+        for d in 0..n {
+            v.process(1, d);
+        }
+        let rel = (v.estimate(1) / n as f64 - 1.0).abs();
+        assert!(rel < 0.15, "relative error {rel}");
+    }
+
+    #[test]
+    fn small_cardinality_uses_lc_fallback() {
+        let mut v = VHll::new(1 << 12, 512, 2);
+        let n = 30u64;
+        for d in 0..n {
+            v.process(1, d);
+        }
+        assert!(
+            (v.estimate(1) - n as f64).abs() < 10.0,
+            "estimate {} vs {n}",
+            v.estimate(1)
+        );
+    }
+
+    #[test]
+    fn noise_correction_under_sharing() {
+        let mut v = VHll::new(1 << 12, 256, 3);
+        let n = 200u64;
+        for d in 0..n {
+            v.process(1, d);
+        }
+        for u in 2..1000u64 {
+            for d in 0..50u64 {
+                v.process(u, d.wrapping_mul(u) ^ 0xBEEF);
+            }
+        }
+        let est = v.estimate_fresh(1);
+        // Tolerance from the paper's own variance formula (§III-B2): allow
+        // 4σ around the truth.
+        let total = 199.0 + 998.0 * 50.0;
+        let sigma =
+            crate::theory::vhll_variance(n as f64, total, 256.0, 4096.0).sqrt();
+        assert!(
+            (est - n as f64).abs() < 4.0 * sigma,
+            "estimate {est} vs true {n} (σ = {sigma:.1}) under heavy sharing"
+        );
+    }
+
+    #[test]
+    fn global_estimate_tracks_total() {
+        let mut v = VHll::new(1 << 12, 128, 4);
+        let mut distinct = 0u64;
+        for u in 0..200u64 {
+            for d in 0..100u64 {
+                v.process(u, d.wrapping_mul(2 * u + 1));
+                distinct += 1;
+            }
+        }
+        let rel = (v.global_estimate() / distinct as f64 - 1.0).abs();
+        assert!(rel < 0.15, "global {} vs {distinct}", v.global_estimate());
+    }
+
+    #[test]
+    fn incremental_global_z_matches_exact() {
+        let mut v = VHll::new(2048, 64, 5);
+        for u in 0..50u64 {
+            for d in 0..200u64 {
+                v.process(u, d.wrapping_mul(u + 3));
+            }
+        }
+        let exact = v.registers.sum_pow2_neg();
+        assert!(
+            (v.z_global - exact).abs() < 1e-9,
+            "z drift {}",
+            (v.z_global - exact).abs()
+        );
+    }
+
+    #[test]
+    fn large_cardinality_range_beyond_cse() {
+        // vHLL's range is ~2^2^w; at m = 64 CSE would cap at m ln m ≈ 266,
+        // while vHLL keeps tracking.
+        let mut v = VHll::new(1 << 14, 64, 6);
+        let n = 5_000u64;
+        for d in 0..n {
+            v.process(1, d);
+        }
+        assert!(v.estimate(1) > 1_000.0, "estimate {} stuck", v.estimate(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than")]
+    fn m_not_less_than_array_rejected() {
+        let _ = VHll::new(64, 64, 0);
+    }
+
+    #[test]
+    fn estimate_never_negative() {
+        let mut v = VHll::new(1024, 32, 7);
+        for u in 0..2000u64 {
+            for d in 0..20u64 {
+                v.process(u, d.wrapping_mul(u + 11));
+            }
+        }
+        v.process(999_999, 1);
+        assert!(v.estimate(999_999) >= 0.0);
+    }
+}

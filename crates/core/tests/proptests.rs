@@ -1,0 +1,182 @@
+//! Property-based tests for the shared-array estimators.
+
+use freesketch::{CardinalityEstimator, Cse, FreeBS, FreeRS, PerUserHllpp, PerUserLpc, VHll};
+use proptest::prelude::*;
+
+/// Random edge streams: user ids in a small range (to force sharing),
+/// item ids arbitrary.
+fn edges() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..32, any::<u64>()), 0..600)
+}
+
+fn all_estimators(seed: u64) -> Vec<Box<dyn CardinalityEstimator>> {
+    vec![
+        Box::new(FreeBS::new(1 << 14, seed)),
+        Box::new(FreeRS::new(1 << 11, seed)),
+        Box::new(PerUserLpc::new(512, seed)),
+        Box::new(PerUserHllpp::new(6, seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replaying the exact same stream twice leaves every estimate
+    /// unchanged for the HT estimators and the per-user baselines. (CSE and
+    /// vHLL legitimately *refresh* their cached counters on replay — the
+    /// global noise term moved while other users streamed — so for them the
+    /// invariant is on the fresh O(m) estimate instead.)
+    #[test]
+    fn replay_changes_nothing(stream in edges(), seed: u64) {
+        for mut est in all_estimators(seed) {
+            for &(u, d) in &stream {
+                est.process(u, d);
+            }
+            let before: Vec<f64> = (0..32).map(|u| est.estimate(u)).collect();
+            for &(u, d) in &stream {
+                est.process(u, d);
+            }
+            let after: Vec<f64> = (0..32).map(|u| est.estimate(u)).collect();
+            prop_assert_eq!(&before, &after, "{} changed on replay", est.name());
+        }
+    }
+
+    /// For the virtual-sketch baselines the replay invariant holds on the
+    /// underlying shared state: re-streaming the same edges leaves the
+    /// fresh O(m) estimates unchanged.
+    #[test]
+    fn replay_preserves_virtual_sketch_state(stream in edges(), seed: u64) {
+        let mut cse = Cse::new(1 << 13, 128, seed);
+        let mut vhll = VHll::new(1 << 10, 64, seed);
+        for &(u, d) in &stream {
+            cse.process(u, d);
+            vhll.process(u, d);
+        }
+        let before: Vec<f64> = (0..32)
+            .flat_map(|u| [cse.estimate_fresh(u), vhll.estimate_fresh(u)])
+            .collect();
+        for &(u, d) in &stream {
+            cse.process(u, d);
+            vhll.process(u, d);
+        }
+        let after: Vec<f64> = (0..32)
+            .flat_map(|u| [cse.estimate_fresh(u), vhll.estimate_fresh(u)])
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Users that never appeared estimate exactly zero; users that appeared
+    /// estimate non-negatively.
+    #[test]
+    fn unseen_users_are_zero(stream in edges(), seed: u64) {
+        for mut est in all_estimators(seed) {
+            let mut seen = std::collections::HashSet::new();
+            for &(u, d) in &stream {
+                est.process(u, d);
+                seen.insert(u);
+            }
+            for u in 0..40u64 {
+                let e = est.estimate(u);
+                if seen.contains(&u) {
+                    prop_assert!(e >= 0.0, "{}: negative estimate {e}", est.name());
+                } else {
+                    prop_assert_eq!(e, 0.0, "{}: unseen user {} has estimate", est.name(), u);
+                }
+            }
+        }
+    }
+
+    /// FreeBS/FreeRS per-user estimates sum exactly to the total estimate
+    /// (both are Horvitz–Thompson sums over the same increments).
+    #[test]
+    fn ht_sums_are_consistent(stream in edges(), seed: u64) {
+        let mut fbs = FreeBS::new(1 << 13, seed);
+        let mut frs = FreeRS::new(1 << 10, seed);
+        for &(u, d) in &stream {
+            fbs.process(u, d);
+            frs.process(u, d);
+        }
+        let mut sum_b = 0.0;
+        fbs.for_each_estimate(&mut |_, e| sum_b += e);
+        prop_assert!((sum_b - fbs.total_estimate()).abs() < 1e-6);
+        let mut sum_r = 0.0;
+        frs.for_each_estimate(&mut |_, e| sum_r += e);
+        prop_assert!((sum_r - frs.total_estimate()).abs() < 1e-6);
+    }
+
+    /// FreeBS and FreeRS estimates are monotone non-decreasing over time
+    /// for every user (increments are non-negative).
+    #[test]
+    fn estimates_monotone(stream in edges(), seed: u64) {
+        let mut fbs = FreeBS::new(1 << 12, seed);
+        let mut frs = FreeRS::new(1 << 9, seed);
+        let mut last_b = vec![0.0f64; 32];
+        let mut last_r = vec![0.0f64; 32];
+        for &(u, d) in &stream {
+            fbs.process(u, d);
+            frs.process(u, d);
+            let b = fbs.estimate(u);
+            let r = frs.estimate(u);
+            prop_assert!(b >= last_b[u as usize]);
+            prop_assert!(r >= last_r[u as usize]);
+            last_b[u as usize] = b;
+            last_r[u as usize] = r;
+        }
+    }
+
+    /// FreeRS's incremental Z never drifts measurably from the exact sum.
+    #[test]
+    fn freers_z_invariant(stream in edges(), seed: u64) {
+        let mut frs = FreeRS::new(512, seed);
+        for &(u, d) in &stream {
+            frs.process(u, d);
+        }
+        let drift = frs.rebuild_z();
+        prop_assert!(drift < 1e-9, "drift {drift}");
+    }
+
+    /// FreeBS's q equals the bit array's zero fraction, which equals
+    /// 1 - (distinct slots hit)/M.
+    #[test]
+    fn freebs_q_matches_popcount(stream in edges(), seed: u64) {
+        let mut fbs = FreeBS::new(4096, seed);
+        for &(u, d) in &stream {
+            fbs.process(u, d);
+        }
+        let recount = fbs.bit_array().recount_zeros();
+        prop_assert_eq!(fbs.zeros(), recount);
+        prop_assert!((fbs.q() - recount as f64 / 4096.0).abs() < 1e-15);
+    }
+
+    /// Serde round-trip preserves FreeBS and FreeRS state exactly.
+    #[test]
+    fn serde_round_trip(stream in edges(), seed: u64) {
+        let mut fbs = FreeBS::new(2048, seed);
+        let mut frs = FreeRS::new(512, seed);
+        for &(u, d) in &stream {
+            fbs.process(u, d);
+            frs.process(u, d);
+        }
+        let fbs2: FreeBS = serde_round(&fbs);
+        let frs2: FreeRS = serde_round(&frs);
+        for u in 0..32u64 {
+            prop_assert_eq!(fbs.estimate(u), fbs2.estimate(u));
+            prop_assert_eq!(frs.estimate(u), frs2.estimate(u));
+        }
+        prop_assert_eq!(fbs.q(), fbs2.q());
+        prop_assert_eq!(frs.q(), frs2.q());
+        // And the restored estimator keeps working identically.
+        let mut a = fbs;
+        let mut b = fbs2;
+        for d in 0..50u64 {
+            a.process(5, d ^ 0xF00D);
+            b.process(5, d ^ 0xF00D);
+        }
+        prop_assert_eq!(a.estimate(5), b.estimate(5));
+    }
+}
+
+fn serde_round<T: serde::Serialize + serde::de::DeserializeOwned>(v: &T) -> T {
+    let json = serde_json::to_string(v).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}

@@ -1,0 +1,58 @@
+//! # graphstream — the graph-stream substrate
+//!
+//! The paper's input model (§II): a bipartite graph stream
+//! `Γ = e(1) e(2) …` of user–item pairs, possibly containing duplicates.
+//! This crate provides:
+//!
+//! * [`Edge`] and replayable in-memory streams;
+//! * [`GroundTruth`] — an exact (hash-set based) per-user cardinality
+//!   tracker used as the oracle in every experiment;
+//! * [`synth`] — seeded synthetic workload generation with bounded-Zipf
+//!   (discrete power-law) cardinality distributions, duplicate injection and
+//!   temporal interleaving;
+//! * [`profiles`] — per-dataset generator configurations calibrated to
+//!   Table I of the paper (user count, max cardinality, total cardinality),
+//!   standing in for the CAIDA traces and OSN edge lists we cannot ship
+//!   (substitution documented in DESIGN.md §5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod synth;
+mod truth;
+
+pub use profiles::{DatasetProfile, PROFILES};
+pub use synth::{SynthConfig, SynthStream};
+pub use truth::GroundTruth;
+
+/// One stream element `e(t) = (s(t), d(t))`: user `s` connected to item `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// The user (source) identifier.
+    pub user: u64,
+    /// The item (destination) identifier.
+    pub item: u64,
+}
+
+impl Edge {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(user: u64, item: u64) -> Self {
+        Self { user, item }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_round_trip() {
+        let e = Edge::new(3, 9);
+        assert_eq!(e.user, 3);
+        assert_eq!(e.item, 9);
+        assert_eq!(e, Edge { user: 3, item: 9 });
+    }
+}

@@ -1,0 +1,128 @@
+//! Exact per-user cardinality tracking — the evaluation oracle.
+
+use crate::Edge;
+use hashkit::{FxHashMap, FxHashSet};
+
+/// Exact streaming tracker of every user's distinct-item set.
+///
+/// This is what the paper says is *infeasible* at line rate with router
+/// memories — a hash table of all distinct edges — and it is exactly what an
+/// offline evaluation needs as ground truth: `n_s(t)` for every user and the
+/// global `n(t) = Σ_s n_s(t)`.
+#[derive(Debug, Default, Clone)]
+pub struct GroundTruth {
+    per_user: FxHashMap<u64, FxHashSet<u64>>,
+    total_distinct: u64,
+}
+
+impl GroundTruth {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one edge. Returns `true` iff the edge was new (first
+    /// occurrence of this user–item pair).
+    pub fn observe(&mut self, edge: Edge) -> bool {
+        let fresh = self.per_user.entry(edge.user).or_default().insert(edge.item);
+        self.total_distinct += u64::from(fresh);
+        fresh
+    }
+
+    /// The exact cardinality `n_s(t)` of a user (0 if never seen).
+    #[must_use]
+    pub fn cardinality(&self, user: u64) -> u64 {
+        self.per_user.get(&user).map_or(0, |s| s.len() as u64)
+    }
+
+    /// The sum of all user cardinalities `n(t)` — equivalently the number of
+    /// distinct edges observed so far.
+    #[must_use]
+    pub fn total_cardinality(&self) -> u64 {
+        self.total_distinct
+    }
+
+    /// Number of distinct users seen (`|S(t)|`).
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// The largest user cardinality.
+    #[must_use]
+    pub fn max_cardinality(&self) -> u64 {
+        self.per_user.values().map(|s| s.len() as u64).max().unwrap_or(0)
+    }
+
+    /// Iterates `(user, n_s)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.per_user.iter().map(|(&u, s)| (u, s.len() as u64))
+    }
+
+    /// Users whose cardinality is at least `threshold` — the exact
+    /// super-spreader set of §V-F.
+    #[must_use]
+    pub fn spreaders(&self, threshold: u64) -> FxHashSet<u64> {
+        self.per_user
+            .iter()
+            .filter(|(_, s)| s.len() as u64 >= threshold)
+            .map(|(&u, _)| u)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_counts_distinct_only() {
+        let mut g = GroundTruth::new();
+        assert!(g.observe(Edge::new(1, 10)));
+        assert!(g.observe(Edge::new(1, 11)));
+        assert!(!g.observe(Edge::new(1, 10)));
+        assert!(g.observe(Edge::new(2, 10)));
+        assert_eq!(g.cardinality(1), 2);
+        assert_eq!(g.cardinality(2), 1);
+        assert_eq!(g.cardinality(3), 0);
+        assert_eq!(g.total_cardinality(), 3);
+        assert_eq!(g.user_count(), 2);
+        assert_eq!(g.max_cardinality(), 2);
+    }
+
+    #[test]
+    fn spreaders_threshold() {
+        let mut g = GroundTruth::new();
+        for i in 0..10 {
+            g.observe(Edge::new(1, i));
+        }
+        for i in 0..3 {
+            g.observe(Edge::new(2, i));
+        }
+        let s = g.spreaders(5);
+        assert!(s.contains(&1));
+        assert!(!s.contains(&2));
+        assert_eq!(g.spreaders(1).len(), 2);
+        assert!(g.spreaders(100).is_empty());
+    }
+
+    #[test]
+    fn iter_matches_cardinalities() {
+        let mut g = GroundTruth::new();
+        g.observe(Edge::new(7, 1));
+        g.observe(Edge::new(7, 2));
+        g.observe(Edge::new(8, 1));
+        let mut v: Vec<(u64, u64)> = g.iter().collect();
+        v.sort_unstable();
+        assert_eq!(v, vec![(7, 2), (8, 1)]);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let g = GroundTruth::new();
+        assert_eq!(g.total_cardinality(), 0);
+        assert_eq!(g.max_cardinality(), 0);
+        assert_eq!(g.user_count(), 0);
+    }
+}

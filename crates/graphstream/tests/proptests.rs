@@ -1,0 +1,95 @@
+//! Property-based tests for the stream substrate.
+
+use graphstream::{Edge, GroundTruth, SynthConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GroundTruth's total equals the sum of per-user cardinalities and the
+    /// count of distinct pairs, for arbitrary duplicate-laden streams.
+    #[test]
+    fn truth_invariants(edges in prop::collection::vec((0u64..50, 0u64..200), 0..500)) {
+        let mut g = GroundTruth::new();
+        let mut fresh_count = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for &(u, d) in &edges {
+            let fresh = g.observe(Edge::new(u, d));
+            prop_assert_eq!(fresh, seen.insert((u, d)));
+            fresh_count += u64::from(fresh);
+        }
+        prop_assert_eq!(g.total_cardinality(), fresh_count);
+        let per_user_sum: u64 = g.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(per_user_sum, g.total_cardinality());
+        let max = g.iter().map(|(_, n)| n).max().unwrap_or(0);
+        prop_assert_eq!(g.max_cardinality(), max);
+    }
+
+    /// Spreader sets are monotone in the threshold: raising it never adds
+    /// users.
+    #[test]
+    fn spreaders_monotone(edges in prop::collection::vec((0u64..20, 0u64..100), 0..300),
+                          t1 in 1u64..20, t2 in 1u64..20) {
+        let mut g = GroundTruth::new();
+        for &(u, d) in &edges {
+            g.observe(Edge::new(u, d));
+        }
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let s_lo = g.spreaders(lo);
+        let s_hi = g.spreaders(hi);
+        prop_assert!(s_hi.is_subset(&s_lo));
+        // And every member truly clears its threshold.
+        for &u in &s_hi {
+            prop_assert!(g.cardinality(u) >= hi);
+        }
+    }
+
+    /// Generated streams are internally consistent for arbitrary (small)
+    /// configurations: declared distinct count matches an exact recount,
+    /// user ids stay within range, duplication ratio is honored.
+    #[test]
+    fn synth_stream_consistency(users in 10usize..300,
+                                max_card in 5u64..100,
+                                mean_pct in 10u64..90,
+                                dup_tenths in 10u64..25,
+                                seed: u64) {
+        let mean = 1.0 + (max_card as f64 - 1.0) * mean_pct as f64 / 100.0;
+        let cfg = SynthConfig {
+            users,
+            max_cardinality: max_card,
+            mean_cardinality: mean.min(max_card as f64 * 0.9).max(1.0),
+            duplication: dup_tenths as f64 / 10.0,
+            seed,
+        };
+        let s = cfg.generate();
+        let mut g = GroundTruth::new();
+        for &e in s.edges() {
+            prop_assert!(e.user < users as u64);
+            g.observe(e);
+        }
+        prop_assert_eq!(g.total_cardinality(), s.distinct_edges());
+        prop_assert!(g.max_cardinality() <= max_card);
+        let ratio = s.len() as f64 / s.distinct_edges() as f64;
+        prop_assert!((ratio - cfg.duplication).abs() < 0.05,
+            "duplication ratio {} vs requested {}", ratio, cfg.duplication);
+    }
+
+    /// Same seed → identical stream; different seed → different stream
+    /// (with overwhelming probability for non-trivial sizes).
+    #[test]
+    fn synth_determinism(seed_a: u64, seed_b: u64) {
+        prop_assume!(seed_a != seed_b);
+        let mk = |seed| SynthConfig {
+            users: 50,
+            max_cardinality: 30,
+            mean_cardinality: 5.0,
+            duplication: 1.2,
+            seed,
+        }.generate();
+        let a1 = mk(seed_a);
+        let a2 = mk(seed_a);
+        prop_assert_eq!(a1.edges(), a2.edges());
+        let b = mk(seed_b);
+        prop_assert_ne!(a1.edges(), b.edges());
+    }
+}

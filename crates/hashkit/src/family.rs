@@ -1,0 +1,199 @@
+//! Indexed hash families `f_1(s), …, f_m(s)` and per-user item hashing.
+//!
+//! CSE and vHLL build each user's *virtual sketch* out of `m` cells chosen
+//! from a shared array of `M` cells by `m` independent hash functions of the
+//! user. Materializing `m` seeds is wasteful when `m` is in the thousands;
+//! instead [`HashFamily`] derives the `i`-th function on the fly by mixing
+//! the function index into the seed — the standard simulation of an indexed
+//! family from one keyed mixer.
+
+use crate::mix::{mix64, mix64_pair};
+use crate::rank::{geometric_rank, Rank};
+use crate::reduce64;
+
+/// A family of `m` pseudo-independent hash functions, each mapping a user id
+/// to a cell index in `0..array_len` — the paper's `f_i(s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HashFamily {
+    seed: u64,
+    arity: usize,
+    array_len: usize,
+}
+
+impl HashFamily {
+    /// Creates a family of `arity` functions with range `0..array_len`.
+    ///
+    /// # Panics
+    /// Panics if `arity == 0` or `array_len == 0`.
+    #[must_use]
+    pub fn new(seed: u64, arity: usize, array_len: usize) -> Self {
+        assert!(arity > 0, "family must contain at least one function");
+        assert!(array_len > 0, "target array must be non-empty");
+        Self {
+            seed: mix64(seed, 0x5EED_FA41),
+            arity,
+            array_len,
+        }
+    }
+
+    /// Number of functions in the family (the paper's `m`).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Length of the shared array the family indexes into (the paper's `M`).
+    #[must_use]
+    pub fn array_len(&self) -> usize {
+        self.array_len
+    }
+
+    /// Evaluates `f_i(user)`: the shared-array cell backing position `i` of
+    /// the user's virtual sketch.
+    ///
+    /// # Panics
+    /// Panics (debug) if `i >= arity`.
+    #[inline]
+    #[must_use]
+    pub fn cell(&self, user: u64, i: usize) -> usize {
+        debug_assert!(i < self.arity, "function index {i} out of arity {}", self.arity);
+        reduce64(mix64_pair(self.seed, user, i as u64), self.array_len)
+    }
+
+    /// Iterates over all `m` cells of a user's virtual sketch.
+    pub fn cells(&self, user: u64) -> impl Iterator<Item = usize> + '_ {
+        (0..self.arity).map(move |i| self.cell(user, i))
+    }
+}
+
+/// Per-edge hashing for the *virtual sketch* methods (CSE / vHLL): the item
+/// chooses a position `h(d) ∈ 0..m` inside the user's virtual sketch and,
+/// for vHLL, a rank `ρ(d)`.
+///
+/// Distinct from [`crate::EdgeHasher`], which hashes the *pair* into the full
+/// shared array (FreeBS / FreeRS) — the paper is explicit that these are
+/// different functions, and tests rely on that distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserItemHasher {
+    seed: u64,
+}
+
+impl UserItemHasher {
+    /// Creates an item hasher with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed: mix64(seed, 0x17EA_11A5),
+        }
+    }
+
+    /// The position of item `d` inside an `m`-cell virtual sketch: `h(d)`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    #[inline]
+    #[must_use]
+    pub fn position(&self, item: u64, m: usize) -> usize {
+        assert!(m > 0);
+        reduce64(mix64(self.seed, item), m)
+    }
+
+    /// The position and rank of item `d`: `(h(d), ρ(d))`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    #[inline]
+    #[must_use]
+    pub fn position_and_rank(&self, item: u64, m: usize) -> (usize, Rank) {
+        assert!(m > 0);
+        let h = mix64(self.seed, item);
+        (reduce64(h, m), geometric_rank(crate::splitmix64(h)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_functions_are_pairwise_distinct() {
+        // f_i(s) and f_j(s) must behave like independent functions: for a
+        // fixed user the m cells should look like m uniform draws.
+        let fam = HashFamily::new(1, 512, 1 << 16);
+        let cells: Vec<usize> = fam.cells(12345).collect();
+        assert_eq!(cells.len(), 512);
+        let distinct: std::collections::HashSet<_> = cells.iter().collect();
+        // Birthday bound: expected collisions 512^2 / (2 * 65536) = 2.
+        assert!(distinct.len() >= 500, "too many collisions: {}", distinct.len());
+    }
+
+    #[test]
+    fn family_is_deterministic() {
+        let a = HashFamily::new(9, 64, 1024);
+        let b = HashFamily::new(9, 64, 1024);
+        for i in 0..64 {
+            assert_eq!(a.cell(77, i), b.cell(77, i));
+        }
+    }
+
+    #[test]
+    fn family_cells_uniform_over_array() {
+        let m_arr = 64;
+        let fam = HashFamily::new(5, 4, m_arr);
+        let mut counts = vec![0usize; m_arr];
+        for user in 0..20_000u64 {
+            for c in fam.cells(user) {
+                counts[c] += 1;
+            }
+        }
+        let expected = (20_000 * 4) as f64 / m_arr as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 / expected - 1.0).abs() < 0.15,
+                "cell {i}: count {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn family_rejects_zero_arity() {
+        let _ = HashFamily::new(0, 0, 10);
+    }
+
+    #[test]
+    fn item_hasher_position_uniform() {
+        let h = UserItemHasher::new(3);
+        let m = 32;
+        let mut counts = vec![0usize; m];
+        for d in 0..32_000u64 {
+            counts[h.position(d, m)] += 1;
+        }
+        let expected = 1000.0;
+        for &c in &counts {
+            assert!((c as f64 / expected - 1.0).abs() < 0.15);
+        }
+    }
+
+    #[test]
+    fn item_hasher_differs_from_edge_hasher() {
+        // Same seed, same numeric inputs — different function families.
+        let ih = UserItemHasher::new(42);
+        let eh = crate::EdgeHasher::new(42);
+        let same = (0..64u64)
+            .filter(|&d| ih.position(d, 1 << 20) == eh.slot(d, d, 1 << 20))
+            .count();
+        assert!(same <= 2, "families should not coincide ({same} matches)");
+    }
+
+    #[test]
+    fn position_and_rank_consistent_with_position() {
+        let h = UserItemHasher::new(8);
+        for d in 0..100u64 {
+            let (p, _) = h.position_and_rank(d, 128);
+            assert_eq!(p, h.position(d, 128));
+        }
+    }
+}

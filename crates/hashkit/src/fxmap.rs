@@ -1,0 +1,137 @@
+//! Fast integer-keyed hash maps.
+//!
+//! All six estimators keep one running counter per user (the paper's `n̂_s`),
+//! and the evaluation harness keeps exact ground-truth sets per user. With
+//! millions of users the default SipHash-based `HashMap` dominates profiles,
+//! so — following the standard databases-in-Rust idiom — we provide an
+//! FxHash-style multiplicative hasher and type aliases. Implemented here from
+//! scratch because no third-party hashing crate is in the offline dependency
+//! set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `rustc-hash` multiplication constant (64-bit golden-ratio based).
+const K: u64 = 0xF1BB_CDCB_7A56_63DF;
+
+/// A fast, non-cryptographic hasher in the style of rustc's FxHasher.
+///
+/// Quality is lower than SipHash but more than sufficient for integer user
+/// ids that are themselves assigned densely or pseudo-randomly; HashDoS is
+/// not a concern inside an offline evaluation harness.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche: Fx's raw output has weak low bits for sequential
+        // keys; hashbrown uses the high bits, but std's RawTable uses low
+        // bits for the group index, so mix once more.
+        crate::mix::splitmix64(self.hash)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the fast [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the fast [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<u64, f64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i as f64 * 0.5);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&250.0));
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<(u64, u64)> = FxHashSet::default();
+        for i in 0..100u64 {
+            s.insert((i % 10, i % 7));
+        }
+        assert_eq!(s.len(), 70);
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // The finisher must spread sequential integers across low bits
+        // (std's HashMap uses the low bits for bucket selection).
+        use std::hash::BuildHasher;
+        let bh = FxBuildHasher::default();
+        let mut buckets = [0usize; 16];
+        for i in 0..16_000u64 {
+            buckets[(bh.hash_one(i) & 15) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (b as f64 / 1000.0 - 1.0).abs() < 0.2,
+                "bucket {i} has {b} entries"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_writes_match_lengths() {
+        use std::hash::Hasher;
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefg");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

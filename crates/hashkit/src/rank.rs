@@ -1,0 +1,100 @@
+//! Geometric(1/2) ranks — the `ρ(·)` function of FM/HLL-family sketches.
+//!
+//! Footnote 1 of the paper defines `ρ(d)` as "the number of leading zeros in
+//! the remaining hash bits plus one", which is exactly a Geometric(1/2) draw:
+//! `P(ρ = k) = 2^{-k}` for `k = 1, 2, …`.
+
+/// A Geometric(1/2) rank in `1..=64`, as stored in FM/HLL registers.
+///
+/// The niche (`NonZeroU8`) keeps `Option<Rank>` one byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rank(std::num::NonZeroU8);
+
+impl Rank {
+    /// The largest representable rank: a zero hash word yields 64 leading
+    /// zeros, i.e. rank 65 clamped to 64 (probability 2^-64 — unobservable).
+    pub const MAX_RANK: u8 = 64;
+
+    /// Constructs a rank, clamping into `1..=64`.
+    #[inline]
+    #[must_use]
+    pub fn new_clamped(k: u8) -> Self {
+        let k = k.clamp(1, Self::MAX_RANK);
+        // SAFETY-free: clamp guarantees non-zero.
+        Self(std::num::NonZeroU8::new(k).expect("clamped to >= 1"))
+    }
+
+    /// The rank value in `1..=64`.
+    #[inline]
+    #[must_use]
+    pub fn get(self) -> u8 {
+        self.0.get()
+    }
+
+    /// The rank saturated to what a `w`-bit register can store
+    /// (`2^w - 1`), as vHLL/FreeRS do with 5-bit registers.
+    #[inline]
+    #[must_use]
+    pub fn saturated(self, width_bits: u8) -> u8 {
+        debug_assert!((1..=8).contains(&width_bits));
+        let max = ((1u16 << width_bits) - 1) as u8;
+        self.get().min(max)
+    }
+}
+
+/// Draws a Geometric(1/2) rank from a hash word: number of leading zeros
+/// plus one, clamped to 64.
+///
+/// `P(rank = k) = 2^{-k}` when `h` is uniform.
+#[inline]
+#[must_use]
+pub fn geometric_rank(h: u64) -> Rank {
+    // leading_zeros of 0 is 64 -> rank 65 -> clamp to 64.
+    let k = (h.leading_zeros() as u8).saturating_add(1);
+    Rank::new_clamped(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_all_ones_is_one() {
+        assert_eq!(geometric_rank(u64::MAX).get(), 1);
+    }
+
+    #[test]
+    fn rank_of_zero_clamps_to_max() {
+        assert_eq!(geometric_rank(0).get(), Rank::MAX_RANK);
+    }
+
+    #[test]
+    fn rank_counts_leading_zeros_plus_one() {
+        for k in 0..63u32 {
+            let h = 1u64 << (63 - k); // exactly k leading zeros
+            assert_eq!(geometric_rank(h).get(), k as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn saturation_respects_width() {
+        let r = Rank::new_clamped(40);
+        assert_eq!(r.saturated(5), 31);
+        assert_eq!(r.saturated(6), 40);
+        let small = Rank::new_clamped(3);
+        assert_eq!(small.saturated(5), 3);
+        assert_eq!(small.saturated(2), 3);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(Rank::new_clamped(0).get(), 1);
+        assert_eq!(Rank::new_clamped(255).get(), 64);
+    }
+
+    #[test]
+    fn option_rank_is_single_byte() {
+        assert_eq!(std::mem::size_of::<Option<Rank>>(), 1);
+    }
+}

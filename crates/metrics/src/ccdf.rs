@@ -1,0 +1,87 @@
+//! Complementary cumulative distribution functions (Fig. 2).
+
+/// One CCDF point: `P(X ≥ value) = fraction`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcdfPoint {
+    /// The cardinality value.
+    pub value: u64,
+    /// Fraction of observations at or above `value`.
+    pub fraction: f64,
+}
+
+/// Computes the CCDF of a sample: for each distinct value `v` in ascending
+/// order, the fraction of observations `≥ v`.
+///
+/// Returns an empty vector for an empty sample.
+#[must_use]
+pub fn ccdf(values: &[u64]) -> Vec<CcdfPoint> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let v = sorted[i];
+        // Observations >= v are everything from index i on (sorted asc, and
+        // i is the first occurrence of v).
+        out.push(CcdfPoint {
+            value: v,
+            fraction: (sorted.len() - i) as f64 / n,
+        });
+        while i < sorted.len() && sorted[i] == v {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        assert!(ccdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_value() {
+        let c = ccdf(&[7]);
+        assert_eq!(c, vec![CcdfPoint { value: 7, fraction: 1.0 }]);
+    }
+
+    #[test]
+    fn known_distribution() {
+        // values: 1,1,2,4 -> P(X>=1)=1, P(X>=2)=0.5, P(X>=4)=0.25
+        let c = ccdf(&[4, 1, 2, 1]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], CcdfPoint { value: 1, fraction: 1.0 });
+        assert_eq!(c[1], CcdfPoint { value: 2, fraction: 0.5 });
+        assert_eq!(c[2], CcdfPoint { value: 4, fraction: 0.25 });
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let values: Vec<u64> = (0..1000).map(|i| (i * i) % 97).collect();
+        let c = ccdf(&values);
+        for w in c.windows(2) {
+            assert!(w[0].value < w[1].value);
+            assert!(w[0].fraction > w[1].fraction);
+        }
+        assert_eq!(c[0].fraction, 1.0);
+    }
+
+    #[test]
+    fn heavy_tail_visible() {
+        // 99 ones and a single 1000: the tail point has fraction 0.01.
+        let mut v = vec![1u64; 99];
+        v.push(1000);
+        let c = ccdf(&v);
+        let last = c.last().expect("non-empty");
+        assert_eq!(last.value, 1000);
+        assert!((last.fraction - 0.01).abs() < 1e-12);
+    }
+}

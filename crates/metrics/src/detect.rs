@@ -1,0 +1,104 @@
+//! Super-spreader detection metrics (Fig. 6 and Table II).
+
+use hashkit::FxHashSet;
+
+/// Confusion counts for one detection experiment.
+///
+/// Following §V-F of the paper:
+/// * **FNR** = missed spreaders / actual spreaders;
+/// * **FPR** = falsely reported users / all users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionOutcome {
+    /// Actual spreaders that were detected.
+    pub true_positives: u64,
+    /// Actual spreaders that were missed.
+    pub false_negatives: u64,
+    /// Non-spreaders that were reported.
+    pub false_positives: u64,
+    /// Total number of users considered.
+    pub total_users: u64,
+}
+
+impl DetectionOutcome {
+    /// Compares a predicted spreader set against the exact one.
+    #[must_use]
+    pub fn compare(actual: &FxHashSet<u64>, predicted: &FxHashSet<u64>, total_users: u64) -> Self {
+        let true_positives = actual.intersection(predicted).count() as u64;
+        let false_negatives = actual.len() as u64 - true_positives;
+        let false_positives = predicted.len() as u64 - true_positives;
+        Self {
+            true_positives,
+            false_negatives,
+            false_positives,
+            total_users,
+        }
+    }
+
+    /// False-negative ratio; 0 when there are no actual spreaders.
+    #[must_use]
+    pub fn fnr(&self) -> f64 {
+        let actual = self.true_positives + self.false_negatives;
+        if actual == 0 {
+            0.0
+        } else {
+            self.false_negatives as f64 / actual as f64
+        }
+    }
+
+    /// False-positive ratio over all users; 0 when there are no users.
+    #[must_use]
+    pub fn fpr(&self) -> f64 {
+        if self.total_users == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.total_users as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u64]) -> FxHashSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let actual = set(&[1, 2, 3]);
+        let out = DetectionOutcome::compare(&actual, &actual, 100);
+        assert_eq!(out.fnr(), 0.0);
+        assert_eq!(out.fpr(), 0.0);
+        assert_eq!(out.true_positives, 3);
+    }
+
+    #[test]
+    fn misses_and_false_alarms() {
+        let actual = set(&[1, 2, 3, 4]);
+        let predicted = set(&[3, 4, 5, 6, 7]);
+        let out = DetectionOutcome::compare(&actual, &predicted, 1000);
+        assert_eq!(out.true_positives, 2);
+        assert_eq!(out.false_negatives, 2);
+        assert_eq!(out.false_positives, 3);
+        assert!((out.fnr() - 0.5).abs() < 1e-12);
+        assert!((out.fpr() - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases_do_not_divide_by_zero() {
+        let empty = set(&[]);
+        let out = DetectionOutcome::compare(&empty, &empty, 0);
+        assert_eq!(out.fnr(), 0.0);
+        assert_eq!(out.fpr(), 0.0);
+    }
+
+    #[test]
+    fn all_missed() {
+        let actual = set(&[1, 2]);
+        let predicted = set(&[]);
+        let out = DetectionOutcome::compare(&actual, &predicted, 10);
+        assert_eq!(out.fnr(), 1.0);
+        assert_eq!(out.fpr(), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the evaluation metrics.
+
+use metrics::{ccdf, DetectionOutcome, RseBins, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// CCDF starts at 1, is strictly decreasing over strictly increasing
+    /// values, and its smallest fraction is 1/n.
+    #[test]
+    fn ccdf_shape(values in prop::collection::vec(0u64..1000, 1..300)) {
+        let c = ccdf(&values);
+        prop_assert!(!c.is_empty());
+        prop_assert_eq!(c[0].fraction, 1.0);
+        for w in c.windows(2) {
+            prop_assert!(w[0].value < w[1].value);
+            prop_assert!(w[0].fraction > w[1].fraction);
+        }
+        let min_frac = c.last().expect("non-empty").fraction;
+        prop_assert!(min_frac >= 1.0 / values.len() as f64 - 1e-12);
+    }
+
+    /// RSE of exact estimates is zero; RSE is invariant to the sign of the
+    /// error only through the square.
+    #[test]
+    fn rse_zero_for_exact(actuals in prop::collection::vec(1u64..10_000, 1..200)) {
+        let mut bins = RseBins::new(4);
+        for &a in &actuals {
+            bins.record(a, a as f64);
+        }
+        prop_assert_eq!(bins.mean_rse(), 0.0);
+        prop_assert_eq!(bins.total_count(), actuals.len() as u64);
+    }
+
+    /// Scaling every estimate by (1+ε) produces mean RSE close to ε when
+    /// all observations share one bin.
+    #[test]
+    fn rse_captures_relative_error(n in 100u64..10_000, eps in 0.01f64..0.5) {
+        let mut bins = RseBins::new(1);
+        for _ in 0..50 {
+            bins.record(n, n as f64 * (1.0 + eps));
+        }
+        let series = bins.series();
+        prop_assert_eq!(series.len(), 1);
+        prop_assert!((series[0].rse - eps).abs() < 1e-9);
+    }
+
+    /// Detection outcome counts are conserved: TP + FN = |actual| and
+    /// TP + FP = |predicted|.
+    #[test]
+    fn detection_conservation(actual in prop::collection::hash_set(0u64..100, 0..50),
+                              predicted in prop::collection::hash_set(0u64..100, 0..50)) {
+        let a: hashkit::FxHashSet<u64> = actual.iter().copied().collect();
+        let p: hashkit::FxHashSet<u64> = predicted.iter().copied().collect();
+        let out = DetectionOutcome::compare(&a, &p, 1000);
+        prop_assert_eq!(out.true_positives + out.false_negatives, a.len() as u64);
+        prop_assert_eq!(out.true_positives + out.false_positives, p.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&out.fnr()));
+        prop_assert!((0.0..=1.0).contains(&out.fpr()));
+    }
+
+    /// Summary statistics agree with naive recomputation.
+    #[test]
+    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var));
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assert_eq!(s.quantile(0.0), sorted[0]);
+        prop_assert_eq!(s.quantile(1.0), sorted[sorted.len() - 1]);
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..50),
+                          q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        prop_assert!(s.quantile(lo) <= s.quantile(hi));
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: estimate every user's cardinality over time with FreeBS.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use freesketch::{CardinalityEstimator, FreeBS};
+use graphstream::{GroundTruth, SynthConfig};
+
+fn main() {
+    // 1. A shared bit array of 2^20 bits (128 KiB) tracks *all* users.
+    let mut estimator = FreeBS::new(1 << 20, /*seed=*/ 42);
+
+    // 2. Stream (user, item) pairs — duplicates welcome.
+    let stream = SynthConfig::tiny(7).generate();
+    let mut truth = GroundTruth::new(); // exact oracle, just for the demo
+    for edge in stream.edges() {
+        estimator.process(edge.user, edge.item);
+        truth.observe(*edge);
+
+        // 3. Estimates are available at ANY time, in O(1) — no end-of-window
+        //    computation. Peek at user 0 occasionally.
+        if truth.total_cardinality().is_multiple_of(10_000) {
+            println!(
+                "after {:>7} distinct pairs: user 0 ≈ {:>7.1} (exact {})",
+                truth.total_cardinality(),
+                estimator.estimate(0),
+                truth.cardinality(0),
+            );
+        }
+    }
+
+    // 4. Final report for the five heaviest users.
+    let mut users: Vec<(u64, u64)> = truth.iter().collect();
+    users.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("\nheaviest users (estimate vs exact):");
+    for &(user, exact) in users.iter().take(5) {
+        println!(
+            "  user {user:>5}: {:>8.1} vs {exact:>6}  ({:+.1}%)",
+            estimator.estimate(user),
+            (estimator.estimate(user) / exact as f64 - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\ntotal: {:.0} estimated vs {} exact, using {} of sketch memory",
+        estimator.total_estimate(),
+        truth.total_cardinality(),
+        format_args!("{} KiB", estimator.memory_bits() / 8192),
+    );
+}

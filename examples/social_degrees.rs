@@ -1,0 +1,65 @@
+//! Social-graph scenario: track user degrees in an Orkut-like edge stream
+//! and compare every estimator the paper evaluates, under one memory
+//! budget.
+//!
+//! ```text
+//! cargo run --release --example social_degrees
+//! ```
+
+use freesketch::{CardinalityEstimator, Cse, FreeBS, FreeRS, PerUserHllpp, PerUserLpc, VHll};
+use graphstream::{profiles, GroundTruth};
+use metrics::RseBins;
+
+fn main() {
+    let profile = profiles::by_name("orkut").expect("profile exists");
+    let scale = profile.default_scale * 10;
+    let stream = profile.scaled(scale).generate();
+    let mut truth = GroundTruth::new();
+    for e in stream.edges() {
+        truth.observe(*e);
+    }
+
+    let m_bits = profile.scaled_memory_bits(scale);
+    let users = stream.config().users;
+    let m = 1024;
+    println!(
+        "orkut-like stream: {} users, {} distinct edges, budget {} per method\n",
+        truth.user_count(),
+        truth.total_cardinality(),
+        format_args!("{:.1} Mbit", m_bits as f64 / 1e6),
+    );
+
+    let methods: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(FreeBS::new(m_bits, 2)),
+        Box::new(FreeRS::new(m_bits / 5, 2)),
+        Box::new(Cse::new(m_bits, m, 2)),
+        Box::new(VHll::new(m_bits / 5, m, 2)),
+        Box::new(PerUserLpc::new((m_bits / users).max(8), 2)),
+        Box::new(PerUserHllpp::new(4, 2)),
+    ];
+
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>10}",
+        "method", "mean RSE", "total est", "sketch mem"
+    );
+    for mut method in methods {
+        for e in stream.edges() {
+            method.process(e.user, e.item);
+        }
+        let mut bins = RseBins::new(2);
+        for (user, actual) in truth.iter() {
+            bins.record(actual, method.estimate(user));
+        }
+        println!(
+            "{:>8}  {:>12.4}  {:>12.0}  {:>10}",
+            method.name(),
+            bins.mean_rse(),
+            method.total_estimate(),
+            format!("{:.2} Mbit", method.memory_bits() as f64 / 1e6),
+        );
+    }
+    println!("\n(FreeBS/FreeRS post the lowest RSE of the sharing methods; at this demo's");
+    println!(" reduced scale each user also gets an oversized private LPC bitmap, so the");
+    println!(" per-user baseline looks strong — run exp_fig5 for the paper-scale picture,");
+    println!(" where private bitmaps saturate on heavy users and lose)");
+}

@@ -1,0 +1,70 @@
+//! Network-monitoring scenario: detect super spreaders *as the traffic
+//! flows*, the §V-F case study and the paper's headline application.
+//!
+//! A router sees a CAIDA-like stream of (source host, destination) pairs.
+//! Hosts contacting an outsized number of distinct destinations — port
+//! scanners, worms, crawlers — must be flagged on the fly. We run FreeRS
+//! under a small memory budget and compare its rolling detections against
+//! the exact answer.
+//!
+//! ```text
+//! cargo run --release --example super_spreaders
+//! ```
+
+use freesketch::{detect_spreaders, CardinalityEstimator, FreeRS};
+use graphstream::{profiles, GroundTruth};
+use metrics::DetectionOutcome;
+
+fn main() {
+    let profile = profiles::by_name("sanjose").expect("profile exists");
+    let scale = profile.default_scale * 10; // keep the example snappy
+    let stream = profile.scaled(scale).generate();
+
+    // Memory budget scaled with the stream; the relative threshold Δ is
+    // scale-invariant (threshold and cardinalities shrink together).
+    let m_bits = profile.scaled_memory_bits(scale);
+    let delta = 2e-4; // slightly above the paper's 5e-5: the 10x-reduced
+                      // demo stream needs a threshold above the noise floor
+
+    let mut estimator = FreeRS::new(m_bits / 5, 1);
+    let mut truth = GroundTruth::new();
+
+    println!(
+        "monitoring {} edges with {} of registers, Δ = {delta:.1e}\n",
+        stream.len(),
+        bench_fmt(m_bits)
+    );
+    println!("{:>8}  {:>10}  {:>9}  {:>8}  {:>8}", "minute", "threshold", "spreaders", "FNR", "FPR");
+
+    let slices = 10;
+    let slice_len = stream.len().div_ceil(slices);
+    for (minute, chunk) in stream.edges().chunks(slice_len).enumerate() {
+        for e in chunk {
+            estimator.process(e.user, e.item);
+            truth.observe(*e);
+        }
+        let report = detect_spreaders(&estimator, delta);
+        let exact_threshold = (delta * truth.total_cardinality() as f64).ceil().max(1.0) as u64;
+        let actual = truth.spreaders(exact_threshold);
+        let outcome =
+            DetectionOutcome::compare(&actual, &report.detected, truth.user_count() as u64);
+        println!(
+            "{:>8}  {:>10.0}  {:>9}  {:>8.1e}  {:>8.1e}",
+            minute + 1,
+            report.threshold,
+            actual.len(),
+            outcome.fnr(),
+            outcome.fpr(),
+        );
+    }
+    println!("\n(the estimator never rescans the stream: every row is an O(users) pass");
+    println!(" over counters that were maintained in O(1) per packet)");
+}
+
+fn bench_fmt(bits: usize) -> String {
+    if bits >= 1_000_000 {
+        format!("{:.1} Mbit", bits as f64 / 1e6)
+    } else {
+        format!("{:.0} kbit", bits as f64 / 1e3)
+    }
+}

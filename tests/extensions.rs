@@ -1,0 +1,132 @@
+//! Integration tests for the beyond-the-paper extensions, on realistic
+//! synthetic workloads.
+
+use freesketch::{CardinalityEstimator, ConfidenceTracking, FreeBS, FreeRS, JointLpc, Windowed};
+use graphstream::{GroundTruth, SynthConfig};
+
+#[test]
+fn windowed_tracks_recent_traffic_on_synthetic_stream() {
+    // Split the stream in two halves with disjoint user populations by
+    // remapping ids; users from the first half must expire.
+    let stream = SynthConfig::tiny(71).generate();
+    let half = stream.len() / 2;
+    let slice = (half / 2).max(1) as u64;
+    let mut w = Windowed::new(2, slice, |i| FreeBS::new(1 << 16, 500 + i));
+    for e in &stream.edges()[..half] {
+        w.process(e.user, e.item);
+    }
+    // First-half users visible now.
+    let seen_user = stream.edges()[0].user;
+    assert!(w.estimate(seen_user) >= 0.0);
+    for e in &stream.edges()[half..] {
+        w.process(e.user + 1_000_000, e.item); // disjoint id space
+    }
+    // Everything from the first half has rotated out.
+    let mut residue = 0.0;
+    for e in &stream.edges()[..half] {
+        residue += w.estimate(e.user);
+    }
+    assert_eq!(residue, 0.0, "first-half users must have expired");
+}
+
+#[test]
+fn confidence_intervals_cover_on_synthetic_stream() {
+    // One pass over a heavy-tailed stream; check CI coverage across the
+    // population of users with cardinality >= 20 (normal approximation is
+    // poor below that).
+    let stream = SynthConfig {
+        users: 3_000,
+        max_cardinality: 800,
+        mean_cardinality: 12.0,
+        duplication: 1.3,
+        seed: 73,
+    }
+    .generate();
+    let mut truth = GroundTruth::new();
+    let mut est = ConfidenceTracking::new(FreeRS::new(1 << 13, 7));
+    for e in stream.edges() {
+        truth.observe(*e);
+        est.process(e.user, e.item);
+    }
+    let mut covered = 0u32;
+    let mut total = 0u32;
+    for (user, actual) in truth.iter() {
+        if actual < 20 {
+            continue;
+        }
+        let ci = est.estimate_with_ci(user, 2.58); // 99%
+        total += 1;
+        if (ci.lower..=ci.upper).contains(&(actual as f64)) {
+            covered += 1;
+        }
+    }
+    assert!(total > 100, "need a meaningful population, got {total}");
+    let coverage = f64::from(covered) / f64::from(total);
+    assert!(
+        coverage > 0.90,
+        "99% CIs covered only {:.0}% of {total} users",
+        coverage * 100.0
+    );
+}
+
+#[test]
+fn bit_sharing_generations_improve_in_order() {
+    // JointLPC (2005) -> CSE (2009) -> FreeBS (2019): mean squared relative
+    // error strictly improves on the same stream and budget.
+    let stream = SynthConfig {
+        users: 4_000,
+        max_cardinality: 300,
+        mean_cardinality: 10.0,
+        duplication: 1.2,
+        seed: 79,
+    }
+    .generate();
+    let mut truth = GroundTruth::new();
+    for e in stream.edges() {
+        truth.observe(*e);
+    }
+    let m_bits = 1 << 17;
+
+    let mse = |est: &dyn CardinalityEstimator| {
+        let mut sq = 0.0;
+        let mut k = 0u32;
+        for (user, actual) in truth.iter() {
+            if actual == 0 {
+                continue;
+            }
+            let rel = (est.estimate(user) - actual as f64) / actual as f64;
+            sq += rel * rel;
+            k += 1;
+        }
+        sq / f64::from(k)
+    };
+
+    let mut joint = JointLpc::new(m_bits, 2048, 2, 5);
+    let mut cse = freesketch::Cse::new(m_bits, 512, 5);
+    let mut fbs = FreeBS::new(m_bits, 5);
+    for e in stream.edges() {
+        joint.process(e.user, e.item);
+        cse.process(e.user, e.item);
+        fbs.process(e.user, e.item);
+    }
+    let (mj, mc, mf) = (mse(&joint), mse(&cse), mse(&fbs));
+    assert!(mf < mc, "FreeBS MSE {mf} !< CSE {mc}");
+    assert!(mc < mj, "CSE MSE {mc} !< JointLPC {mj}");
+}
+
+#[test]
+fn confidence_wrapper_matches_inner_estimates_exactly() {
+    let stream = SynthConfig::tiny(83).generate();
+    let mut plain = FreeBS::new(1 << 15, 9);
+    let mut wrapped = ConfidenceTracking::new(FreeBS::new(1 << 15, 9));
+    for e in stream.edges() {
+        plain.process(e.user, e.item);
+        wrapped.process(e.user, e.item);
+    }
+    let mut checked = 0;
+    plain.for_each_estimate(&mut |u, e| {
+        assert_eq!(e, wrapped.estimate(u));
+        checked += 1;
+    });
+    assert!(checked > 500);
+}
