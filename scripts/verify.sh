@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything CI runs, runnable locally.
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run --workspace
+
+echo "==> cli smoke"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+printf 'alice a\nalice b\nalice b\nbob a\n' > "$tmp/edges.tsv"
+# Drive the binary the release build just produced; `cargo run` without
+# --release would recompile the whole workspace in the dev profile.
+./target/release/freesketch --help > /dev/null
+./target/release/freesketch estimate "$tmp/edges.tsv" --top 2 > /dev/null
+
+echo "verify: OK"

@@ -1,0 +1,63 @@
+//! Build-surface smoke test: the exact promises the front-door docs make
+//! (the `freesketch` crate-level doc example and `examples/quickstart.rs`)
+//! hold when executed for real. If this file fails to compile, the umbrella
+//! crate's re-export wiring is broken; if it fails at runtime, the README's
+//! first-contact experience is lying.
+
+use freesketch_suite::freesketch::{CardinalityEstimator, FreeBS, FreeRS};
+use freesketch_suite::graphstream::{GroundTruth, SynthConfig};
+
+/// The `crates/core/src/lib.rs` doc example, verbatim for FreeBS and the
+/// equal-memory FreeRS analogue: 10k distinct items for one user, estimate
+/// within 5%, duplicates absorbed.
+#[test]
+fn doc_example_promise_holds_for_freebs_and_freers() {
+    let mut fbs = FreeBS::new(1 << 20, 42);
+    let mut frs = FreeRS::new((1 << 20) / 5, 42);
+    for item in 0..10_000u64 {
+        fbs.process(7, item);
+        fbs.process(7, item); // duplicates are absorbed
+        frs.process(7, item);
+        frs.process(7, item);
+    }
+    let fbs_est = fbs.estimate(7);
+    let frs_est = frs.estimate(7);
+    assert!(
+        (fbs_est / 10_000.0 - 1.0).abs() < 0.05,
+        "FreeBS estimate {fbs_est} not within 5% of 10000"
+    );
+    assert!(
+        (frs_est / 10_000.0 - 1.0).abs() < 0.05,
+        "FreeRS estimate {frs_est} not within 5% of 10000"
+    );
+    // O(1) anytime reads: unseen users are exactly zero, totals match the
+    // single tracked user.
+    assert_eq!(fbs.estimate(8), 0.0);
+    assert_eq!(frs.estimate(8), 0.0);
+}
+
+/// The `examples/quickstart.rs` path end-to-end: synthetic stream, exact
+/// oracle, aggregate accuracy. Keeps the example honest without depending
+/// on its stdout format.
+#[test]
+fn quickstart_example_path_reports_sane_aggregates() {
+    let mut estimator = FreeBS::new(1 << 20, 42);
+    let stream = SynthConfig::tiny(7).generate();
+    let mut truth = GroundTruth::new();
+    for edge in stream.edges() {
+        estimator.process(edge.user, edge.item);
+        truth.observe(*edge);
+    }
+    let exact = truth.total_cardinality() as f64;
+    assert!(exact > 1_000.0, "tiny profile should still stream >1k distinct pairs");
+    let total = estimator.total_estimate();
+    assert!(
+        (total / exact - 1.0).abs() < 0.05,
+        "total estimate {total} not within 5% of exact {exact}"
+    );
+    // The per-user sum is the total (Horvitz–Thompson consistency), so the
+    // quickstart's per-user report draws from the same mass.
+    let mut sum = 0.0;
+    estimator.for_each_estimate(&mut |_, e| sum += e);
+    assert!((sum - total).abs() < 1e-6);
+}

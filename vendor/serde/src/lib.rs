@@ -1,0 +1,494 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Real serde is a zero-copy framework generic over data formats; this
+//! stand-in collapses that to the one thing the workspace needs: lossless
+//! structural round-trips through `serde_json`. [`Serialize`] renders a
+//! value into an owned [`Value`] tree, [`Deserialize`] rebuilds it, and the
+//! derive macros (re-exported from `serde_derive`) implement both for
+//! structs and enums. Numeric fidelity matters here — sketches carry `u64`
+//! hash state and `f64` estimator state — so integers and floats are kept
+//! in distinct [`Value`] arms and never coerced through each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Make `#[derive(serde::Serialize, serde::Deserialize)]` resolve: the derive
+// macro names must be importable from the crate root, like real serde with
+// the `derive` feature. The trait and macro share a name across namespaces,
+// exactly as upstream.
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+/// The self-describing tree every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// A key-ordered record (struct fields, map entries).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a struct field in a serialized map.
+///
+/// # Errors
+/// If `key` is absent.
+pub fn map_field<'a>(map: &'a [(String, Value)], key: &str) -> Result<&'a Value, Error> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+/// Looks up a sequence element by index (tuple-struct fields).
+///
+/// # Errors
+/// If `idx` is out of bounds.
+pub fn seq_field(seq: &[Value], idx: usize) -> Result<&Value, Error> {
+    seq.get(idx)
+        .ok_or_else(|| Error::custom(format!("missing tuple field {idx}")))
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A value rebuildable from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value.
+    ///
+    /// # Errors
+    /// If `v` has the wrong shape.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// The `serde::de` module: [`DeserializeOwned`], as bounds in downstream
+/// code spell it.
+pub mod de {
+    /// Deserializable without borrowing from the input — every
+    /// [`Deserialize`](crate::Deserialize) type here, since the stand-in is
+    /// fully owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::U64(x) => *x,
+                    Value::I64(x) if *x >= 0 => *x as u64,
+                    other => return Err(Error::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let x = i64::from(*self);
+                if x >= 0 { Value::U64(x as u64) } else { Value::I64(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let raw: i64 = match v {
+                    Value::I64(x) => *x,
+                    Value::U64(x) => i64::try_from(*x)
+                        .map_err(|_| Error::custom(format!("{x} out of i64 range")))?,
+                    other => return Err(Error::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        (*self as i64).serialize_value()
+    }
+}
+impl Deserialize for isize {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        i64::deserialize_value(v).map(|x| x as isize)
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                #[allow(clippy::cast_possible_truncation)]
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(x) => Ok(*x as $t),
+                    Value::I64(x) => Ok(*x as $t),
+                    other => Err(Error::custom(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+macro_rules! impl_nonzero {
+    ($($nz:ty => $prim:ty),*) => {$(
+        impl Serialize for $nz {
+            fn serialize_value(&self) -> Value {
+                self.get().serialize_value()
+            }
+        }
+        impl Deserialize for $nz {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let raw = <$prim>::deserialize_value(v)?;
+                <$nz>::new(raw).ok_or_else(|| Error::custom("expected non-zero integer"))
+            }
+        }
+    )*};
+}
+impl_nonzero!(
+    std::num::NonZeroU8 => u8,
+    std::num::NonZeroU16 => u16,
+    std::num::NonZeroU32 => u32,
+    std::num::NonZeroU64 => u64,
+    std::num::NonZeroUsize => usize
+);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:ident $i:tt),+))*) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.serialize_value()),+])
+            }
+        }
+        impl<$($n: Deserialize),+> Deserialize for ($($n,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                Ok(($($n::deserialize_value(seq_field(s, $i)?)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+// Maps serialize as sequences of `[key, value]` pairs so non-string keys
+// (u64 user ids, here) survive JSON without lossy stringification.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let entries = v.as_seq().ok_or_else(|| Error::custom("expected map entry sequence"))?;
+        let mut out = HashMap::with_capacity_and_hasher(entries.len(), S::default());
+        for e in entries {
+            let pair = e.as_seq().ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+            out.insert(
+                K::deserialize_value(seq_field(pair, 0)?)?,
+                V::deserialize_value(seq_field(pair, 1)?)?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let entries = v.as_seq().ok_or_else(|| Error::custom("expected map entry sequence"))?;
+        let mut out = BTreeMap::new();
+        for e in entries {
+            let pair = e.as_seq().ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+            out.insert(
+                K::deserialize_value(seq_field(pair, 0)?)?,
+                V::deserialize_value(seq_field(pair, 1)?)?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_seq().ok_or_else(|| Error::custom("expected sequence"))?;
+        let mut out = HashSet::with_capacity_and_hasher(items.len(), S::default());
+        for i in items {
+            out.insert(T::deserialize_value(i)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BinaryHeap<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BinaryHeap<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::deserialize_value(&u64::MAX.serialize_value()).unwrap(), u64::MAX);
+        assert_eq!(i32::deserialize_value(&(-7i32).serialize_value()).unwrap(), -7);
+        let x = 0.1f64 + 0.2;
+        assert_eq!(f64::deserialize_value(&x.serialize_value()).unwrap(), x);
+        assert!(u8::deserialize_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let m: HashMap<u64, f64> = [(3, 1.5), (u64::MAX, -2.25)].into_iter().collect();
+        let m2: HashMap<u64, f64> = Deserialize::deserialize_value(&m.serialize_value()).unwrap();
+        assert_eq!(m, m2);
+
+        let heap: BinaryHeap<u64> = [5u64, 1, 9].into_iter().collect();
+        let h2: BinaryHeap<u64> = Deserialize::deserialize_value(&heap.serialize_value()).unwrap();
+        let mut a: Vec<u64> = heap.into_sorted_vec();
+        let mut b: Vec<u64> = h2.into_sorted_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        let nz = std::num::NonZeroU8::new(64).unwrap();
+        assert_eq!(
+            std::num::NonZeroU8::deserialize_value(&nz.serialize_value()).unwrap(),
+            nz
+        );
+        assert!(std::num::NonZeroU8::deserialize_value(&Value::U64(0)).is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! Offline stand-in for the `serde_derive` crate (see `vendor/README.md`).
+//!
+//! Derives the stand-in `serde::Serialize` / `serde::Deserialize` traits
+//! (which render to / rebuild from a `serde::Value` tree) for:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic tuple structs,
+//! * non-generic enums with unit and tuple variants.
+//!
+//! The parser walks the raw `proc_macro::TokenStream` directly — `syn` and
+//! `quote` are not available offline — which is enough because the derive
+//! input grammar needed here is tiny. Unsupported shapes (generics, named
+//! enum variant fields, unions) produce a `compile_error!` naming the
+//! limitation rather than mis-compiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct: number of fields.
+    TupleStruct(usize),
+    /// Unit struct (`struct X;`) — constructed without parentheses.
+    UnitStruct,
+    /// Enum: `(variant name, tuple-field count)`; unit variants have 0.
+    Enum(Vec<(String, usize)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => render(&name, &shape, mode).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens parse"),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            i += 1;
+            tokens[i - 1].to_string()
+        }
+        other => return Err(format!("serde_derive stub: expected `struct` or `enum`, got {other:?}")),
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("serde_derive stub: expected type name, got {other:?}")),
+    };
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stub: generic type `{name}` is not supported (add a manual impl)"
+        ));
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+            Ok((name, Shape::TupleStruct(count_top_level_fields(g.stream()))))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+        other => Err(format!("serde_derive stub: unsupported {kind} body: {other:?}")),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde_derive stub: expected field name, got {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde_derive stub: expected `:` after `{name}`, got {other:?}")),
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping after the next top-level `,` (or end).
+/// Angle brackets nest (`HashMap<u64, Vec<u8>, S>`); parens/brackets arrive
+/// pre-grouped so only `<`/`>` need explicit depth tracking.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            // The `>` of a `->` return arrow (fn-pointer types) must not
+            // close a generic bracket; `-` and `>` arrive as a joint pair.
+            TokenTree::Punct(p)
+                if p.as_char() == '-'
+                    && p.spacing() == proc_macro::Spacing::Joint
+                    && matches!(
+                        tokens.get(*i + 1),
+                        Some(TokenTree::Punct(q)) if q.as_char() == '>'
+                    ) =>
+            {
+                *i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of top-level comma-separated fields in a tuple-struct body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0usize;
+    let mut count = 0usize;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+/// `(name, tuple-field count)` for each enum variant.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde_derive stub: expected variant name, got {other}")),
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde_derive stub: named fields on variant `{name}` are not supported"
+                ));
+            }
+            _ => 0,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => return Err(format!("serde_derive stub: expected `,` after variant, got {other:?}")),
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+fn render(name: &str, shape: &Shape, mode: Mode) -> String {
+    match (shape, mode) {
+        (Shape::NamedStruct(fields), Mode::Serialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Serialize for {name} {{
+                     fn serialize_value(&self) -> ::serde::Value {{
+                         ::serde::Value::Map(::std::vec![{entries}])
+                     }}
+                 }}"
+            )
+        }
+        (Shape::NamedStruct(fields), Mode::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         ::serde::map_field(__map, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Deserialize for {name} {{
+                     fn deserialize_value(__v: &::serde::Value)
+                         -> ::std::result::Result<Self, ::serde::Error> {{
+                         let __map = ::serde::Value::as_map(__v).ok_or_else(
+                             || ::serde::Error::custom(concat!(\"expected map for struct \", {name:?})))?;
+                         ::std::result::Result::Ok({name} {{ {inits} }})
+                     }}
+                 }}"
+            )
+        }
+        (Shape::TupleStruct(n), Mode::Serialize) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i}),"))
+                .collect();
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Serialize for {name} {{
+                     fn serialize_value(&self) -> ::serde::Value {{
+                         ::serde::Value::Seq(::std::vec![{items}])
+                     }}
+                 }}"
+            )
+        }
+        (Shape::TupleStruct(n), Mode::Deserialize) => {
+            let items: String = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize_value(::serde::seq_field(__seq, {i})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Deserialize for {name} {{
+                     fn deserialize_value(__v: &::serde::Value)
+                         -> ::std::result::Result<Self, ::serde::Error> {{
+                         let __seq = ::serde::Value::as_seq(__v).ok_or_else(
+                             || ::serde::Error::custom(concat!(\"expected sequence for \", {name:?})))?;
+                         ::std::result::Result::Ok({name}({items}))
+                     }}
+                 }}"
+            )
+        }
+        (Shape::UnitStruct, Mode::Serialize) => {
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Serialize for {name} {{
+                     fn serialize_value(&self) -> ::serde::Value {{
+                         ::serde::Value::Seq(::std::vec::Vec::new())
+                     }}
+                 }}"
+            )
+        }
+        (Shape::UnitStruct, Mode::Deserialize) => {
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Deserialize for {name} {{
+                     fn deserialize_value(__v: &::serde::Value)
+                         -> ::std::result::Result<Self, ::serde::Error> {{
+                         ::serde::Value::as_seq(__v).ok_or_else(
+                             || ::serde::Error::custom(concat!(\"expected sequence for \", {name:?})))?;
+                         ::std::result::Result::Ok({name})
+                     }}
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!(
+                            "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                        )
+                    } else {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let bind_list = binds.join(", ");
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({bind_list}) => ::serde::Value::Map(::std::vec![
+                                 (::std::string::String::from(\"variant\"),
+                                  ::serde::Value::Str(::std::string::String::from({v:?}))),
+                                 (::std::string::String::from(\"fields\"),
+                                  ::serde::Value::Seq(::std::vec![{items}])),
+                             ]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Serialize for {name} {{
+                     fn serialize_value(&self) -> ::serde::Value {{
+                         match self {{ {arms} }}
+                     }}
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Deserialize) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tuple_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    let items: String = (0..*arity)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::deserialize_value(\
+                                 ::serde::seq_field(__fields, {i})?)?,"
+                            )
+                        })
+                        .collect();
+                    format!("{v:?} => ::std::result::Result::Ok({name}::{v}({items})),")
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Deserialize for {name} {{
+                     fn deserialize_value(__v: &::serde::Value)
+                         -> ::std::result::Result<Self, ::serde::Error> {{
+                         if let ::std::option::Option::Some(__s) = ::serde::Value::as_str(__v) {{
+                             return match __s {{
+                                 {unit_arms}
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(
+                                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),
+                             }};
+                         }}
+                         let __map = ::serde::Value::as_map(__v).ok_or_else(
+                             || ::serde::Error::custom(concat!(\"expected variant map for \", {name:?})))?;
+                         let __variant = ::serde::Value::as_str(::serde::map_field(__map, \"variant\")?)
+                             .ok_or_else(|| ::serde::Error::custom(\"variant name must be a string\"))?;
+                         let __fields = ::serde::Value::as_seq(::serde::map_field(__map, \"fields\")?)
+                             .ok_or_else(|| ::serde::Error::custom(\"variant fields must be a sequence\"))?;
+                         match __variant {{
+                             {tuple_arms}
+                             __other => ::std::result::Result::Err(::serde::Error::custom(
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),
+                         }}
+                     }}
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for the `serde_json` crate (see `vendor/README.md`).
+//!
+//! Renders the stand-in `serde::Value` tree to JSON text and parses it
+//! back. Fidelity guarantees, which the checkpoint/restore tests rely on:
+//!
+//! * `u64`/`i64` are written as exact decimal integers and re-parsed
+//!   exactly (no round-trip through `f64`);
+//! * finite `f64` uses Rust's shortest round-trip formatting (`{:?}`), so
+//!   `parse::<f64>()` recovers the identical bits;
+//! * map "keys" never appear — the `serde` stand-in encodes maps as
+//!   `[key, value]` pair sequences — so non-string keys are exact too.
+//!
+//! Non-finite floats serialize to `null` (as real serde_json does) and
+//! therefore fail to deserialize back into an `f64` field; sketch state is
+//! always finite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{de::DeserializeOwned, Serialize, Value};
+
+pub use serde::Error;
+
+/// Serializes `value` to a JSON string.
+///
+/// # Errors
+/// Never fails for the value shapes the workspace produces; the `Result`
+/// mirrors the real serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to JSON bytes.
+///
+/// # Errors
+/// See [`to_string`].
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+/// If the input is not valid JSON or does not match `T`'s shape.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!("trailing input at byte {}", parser.pos)));
+    }
+    T::deserialize_value(&value)
+}
+
+/// Deserializes a value from JSON bytes.
+///
+/// # Errors
+/// See [`from_str`].
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` is Rust's shortest exact round-trip form and always
+                // contains a `.` or exponent, keeping floats distinguishable
+                // from integers in the parsed tree.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::custom("unexpected end of JSON input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        let got = self.peek()?;
+        if got == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}, got `{}`",
+                b as char, self.pos, got as char
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.parse_keyword("null", Value::Null),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `]` in array, got `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `}}` in object, got `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        self.skip_whitespace();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!("invalid token at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| Error::custom("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 starting at pos-1.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .ok_or_else(|| Error::custom("truncated UTF-8 sequence"))?;
+                        let s = std::str::from_utf8(chunk)
+                            .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        let start = self.pos;
+        if matches!(self.bytes.get(self.pos), Some(b'-')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII");
+        if text.is_empty() || text == "-" {
+            return Err(Error::custom(format!("invalid number at byte {start}")));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error::custom(format!("invalid float `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| Error::custom(format!("invalid integer `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error::custom(format!("invalid integer `{text}`: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[test]
+    fn exact_numeric_round_trips() {
+        let xs: Vec<u64> = vec![0, 1, u64::MAX, 0xC0FFEE];
+        let json = to_string(&xs).unwrap();
+        assert_eq!(from_str::<Vec<u64>>(&json).unwrap(), xs);
+
+        let fs: Vec<f64> = vec![0.0, -0.0, 1.0, 0.1 + 0.2, 1e300, 5e-324, -123.456];
+        let json = to_string(&fs).unwrap();
+        let back: Vec<f64> = from_str(&json).unwrap();
+        for (a, b) in fs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+
+        let is: Vec<i64> = vec![0, -1, i64::MIN, i64::MAX];
+        let json = to_string(&is).unwrap();
+        assert_eq!(from_str::<Vec<i64>>(&json).unwrap(), is);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "quote\" slash\\ newline\n tab\t unicode: ∞".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn structured_values_round_trip() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Seq(vec![Value::U64(1), Value::Null, Value::Bool(true)])),
+            ("b".into(), Value::F64(2.5)),
+        ]);
+        let json = to_string(&v).unwrap();
+        let back = Value::deserialize_value(
+            &from_str::<Value>(&json).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let got: Vec<u64> = from_str(" [ 1 , 2 ,\n3 ] ").unwrap();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<u64>("[1").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(from_str::<u64>("\"x\"").is_err());
+        assert!(from_str::<i64>("-9223372036854775809").is_err());
+    }
+
+    #[test]
+    fn negative_integers_parse_exactly() {
+        assert_eq!(from_str::<i64>("-9223372036854775808").unwrap(), i64::MIN);
+        assert_eq!(from_str::<i64>("-1").unwrap(), -1);
+    }
+
+    // End-to-end check of every shape the serde_derive stub supports.
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Named {
+        id: u64,
+        weight: f64,
+        tags: Vec<String>,
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Wrapper(std::num::NonZeroU8);
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Marker;
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    enum Shape {
+        Empty,
+        Pair(u64, f64),
+        Nested(Named),
+    }
+
+    #[test]
+    fn derived_shapes_round_trip() {
+        let named = Named {
+            id: u64::MAX,
+            weight: 0.1 + 0.2,
+            tags: vec!["a".into(), "b\"quoted\"".into()],
+        };
+        let json = to_string(&named).unwrap();
+        assert_eq!(from_str::<Named>(&json).unwrap(), named);
+
+        let wrapper = Wrapper(std::num::NonZeroU8::new(7).unwrap());
+        assert_eq!(from_str::<Wrapper>(&to_string(&wrapper).unwrap()).unwrap(), wrapper);
+
+        assert_eq!(from_str::<Marker>(&to_string(&Marker).unwrap()).unwrap(), Marker);
+
+        for shape in [
+            Shape::Empty,
+            Shape::Pair(3, -1.5),
+            Shape::Nested(Named { id: 0, weight: -0.0, tags: vec![] }),
+        ] {
+            let json = to_string(&shape).unwrap();
+            assert_eq!(from_str::<Shape>(&json).unwrap(), shape, "json: {json}");
+        }
+    }
+}
