@@ -49,6 +49,44 @@ fn bench_o1(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar per-edge loop vs the `process_batch` fast path, both driven
+/// through the `dyn CardinalityEstimator` replay harness — the same call
+/// shape real ingest uses. `exp_ingest` measures the same comparison on 10M
+/// edges and records it in `BENCH_ingest.json`.
+fn bench_batch(c: &mut Criterion) {
+    let edges = test_edges(100_000);
+    let pairs: Vec<(u64, u64)> = edges.iter().map(|e| (e.user, e.item)).collect();
+    let mut group = c.benchmark_group("update/batch");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("FreeBS/scalar", |b| {
+        b.iter(|| {
+            let mut est = FreeBS::new(1 << 22, 1);
+            black_box(bench::run_stream(&mut est, black_box(&edges)))
+        });
+    });
+    group.bench_function("FreeBS/batch", |b| {
+        b.iter(|| {
+            let mut est = FreeBS::new(1 << 22, 1);
+            black_box(bench::run_stream_batched(&mut est, black_box(&pairs)))
+        });
+    });
+    group.bench_function("FreeRS/scalar", |b| {
+        b.iter(|| {
+            let mut est = FreeRS::new((1 << 22) / 5, 1);
+            black_box(bench::run_stream(&mut est, black_box(&edges)))
+        });
+    });
+    group.bench_function("FreeRS/batch", |b| {
+        b.iter(|| {
+            let mut est = FreeRS::new((1 << 22) / 5, 1);
+            black_box(bench::run_stream_batched(&mut est, black_box(&pairs)))
+        });
+    });
+    group.finish();
+}
+
 fn bench_om(c: &mut Criterion) {
     let edges = test_edges(20_000);
     let mut group = c.benchmark_group("update/om");
@@ -97,5 +135,5 @@ fn bench_om(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_o1, bench_om);
+criterion_group!(benches, bench_o1, bench_batch, bench_om);
 criterion_main!(benches);

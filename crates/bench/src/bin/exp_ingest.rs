@@ -1,0 +1,175 @@
+//! Ingest throughput — scalar per-edge loop vs the batched fast path.
+//!
+//! Measures single-core edges/s for FreeBS and FreeRS through the same
+//! `dyn CardinalityEstimator` replay harness real ingest uses: the scalar
+//! path calls `process` once per edge, the batch path hands
+//! `bench::REPLAY_BATCH`-edge slices to `process_batch`. Each configuration
+//! runs several times and the best run is reported (the usual
+//! minimum-of-k noise filter for short single-core measurements).
+//!
+//! ```text
+//! cargo run -p freesketch-bench --release --bin exp_ingest [--quick] \
+//!     [--edges N] [--json] [--out PATH]
+//! ```
+//!
+//! `--json` additionally writes the machine-readable `BENCH_ingest.json`
+//! (override the path with `--out`), so the perf trajectory is tracked
+//! across PRs.
+
+use freesketch::{CardinalityEstimator, FreeBS, FreeRS};
+use graphstream::SynthConfig;
+use metrics::Table;
+
+/// One measured configuration.
+struct Run {
+    method: &'static str,
+    mode: &'static str,
+    seconds: f64,
+    edges_per_sec: f64,
+}
+
+const REPS: usize = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let mut edges_target: usize = if quick { 1_000_000 } else { 10_000_000 };
+    let mut out_path = "BENCH_ingest.json".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--edges" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("--edges needs a value");
+                    std::process::exit(2);
+                });
+                edges_target = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --edges value `{raw}` (expected an integer)");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    out_path.clone_from(v);
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Heavy-tailed synthetic workload with ~20% duplicate edges (the shape
+    // the paper's traces have); sized so the stream is `edges_target` long.
+    let duplication = 1.25;
+    let users = (edges_target / 100).max(64);
+    let mean = edges_target as f64 / duplication / users as f64;
+    let stream = SynthConfig {
+        users,
+        max_cardinality: ((mean * 250.0) as u64).max(10),
+        mean_cardinality: mean.max(1.0),
+        duplication,
+        seed: 0xB47C4,
+    }
+    .generate();
+    let edges = stream.edges();
+    let pairs = stream.pairs();
+    println!(
+        "Ingest throughput: {} stream edges ({} distinct), {} users\n",
+        edges.len(),
+        stream.distinct_edges(),
+        users
+    );
+
+    let m_bits = 1usize << 24; // 16.8M shared bits / 3.4M five-bit registers
+    let mut runs: Vec<Run> = Vec::new();
+    for method in ["FreeBS", "FreeRS"] {
+        for mode in ["scalar", "batch"] {
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let mut est: Box<dyn CardinalityEstimator> = match method {
+                    "FreeBS" => Box::new(FreeBS::new(m_bits, 1)),
+                    _ => Box::new(FreeRS::new(m_bits / 5, 1)),
+                };
+                let secs = match mode {
+                    "scalar" => bench::run_stream(est.as_mut(), edges),
+                    _ => bench::run_stream_batched(est.as_mut(), &pairs),
+                };
+                best = best.min(secs);
+            }
+            runs.push(Run {
+                method,
+                mode,
+                seconds: best,
+                edges_per_sec: edges.len() as f64 / best,
+            });
+        }
+    }
+
+    let mut table = Table::new(["method", "mode", "seconds", "edges/s", "speedup"]);
+    for r in &runs {
+        let speedup = scalar_rate(&runs, r.method).map_or_else(
+            || "-".to_string(),
+            |s| format!("{:.2}x", r.edges_per_sec / s),
+        );
+        table.row(vec![
+            r.method.to_string(),
+            r.mode.to_string(),
+            format!("{:.3}", r.seconds),
+            format!("{:.2e}", r.edges_per_sec),
+            if r.mode == "batch" { speedup } else { "1.00x".to_string() },
+        ]);
+    }
+    print!("{}", table.render());
+
+    if json {
+        let body = render_json(edges.len(), &runs);
+        std::fs::write(&out_path, body).expect("write JSON results");
+        println!("\nwrote {out_path}");
+    }
+}
+
+fn scalar_rate(runs: &[Run], method: &str) -> Option<f64> {
+    runs.iter()
+        .find(|r| r.method == method && r.mode == "scalar")
+        .map(|r| r.edges_per_sec)
+}
+
+/// Hand-rendered JSON (the offline vendor set has no full serde_json): flat
+/// schema, stable key order, one result object per (method, mode).
+fn render_json(edges: usize, runs: &[Run]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"experiment\": \"exp_ingest\",\n  \"edges\": {edges},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"method\": \"{}\", \"mode\": \"{}\", \"seconds\": {:.6}, \"edges_per_sec\": {:.1}}}{}\n",
+            r.method,
+            r.mode,
+            r.seconds,
+            r.edges_per_sec,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"speedup\": {");
+    let mut first = true;
+    for method in ["FreeBS", "FreeRS"] {
+        let scalar = scalar_rate(runs, method);
+        let batch = runs
+            .iter()
+            .find(|r| r.method == method && r.mode == "batch")
+            .map(|r| r.edges_per_sec);
+        if let (Some(s_rate), Some(b_rate)) = (scalar, batch) {
+            if !first {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{method}\": {:.3}", b_rate / s_rate));
+            first = false;
+        }
+    }
+    s.push_str("}\n}\n");
+    s
+}

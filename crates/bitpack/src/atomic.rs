@@ -82,6 +82,21 @@ impl AtomicBitArray {
         fresh
     }
 
+    /// Load-only warm-up of the word holding bit `i` (relaxed), returned so
+    /// the caller can fold many warms into one accumulator and force the
+    /// batch with a single `std::hint::black_box` — the concurrent batch
+    /// ingest path's software prefetch (the crate forbids `unsafe`, so no
+    /// prefetch intrinsic).
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn warm(&self, i: usize) -> u64 {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i >> 6].load(Ordering::Relaxed)
+    }
+
     /// Recomputes the zero count by popcount scan (quiescent state only).
     #[must_use]
     pub fn recount_zeros(&self) -> usize {

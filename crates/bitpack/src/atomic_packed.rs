@@ -70,6 +70,22 @@ impl AtomicPackedArray {
         (word, off)
     }
 
+    /// Load-only warm-up of the word holding register `i` (relaxed),
+    /// returned so the caller can fold many warms into one accumulator and
+    /// force the batch with a single `std::hint::black_box` — the
+    /// concurrent batch ingest path's software prefetch (the crate forbids
+    /// `unsafe`, so no prefetch intrinsic).
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn warm(&self, i: usize) -> u64 {
+        assert!(i < self.len, "register index {i} out of range {}", self.len);
+        let (word, _) = self.locate(i);
+        self.words[word].load(Ordering::Relaxed)
+    }
+
     /// Loads register `i` (relaxed).
     ///
     /// # Panics

@@ -88,6 +88,62 @@ impl BitArray {
         fresh
     }
 
+    /// Sets every bit named in `slots`, recording in `fresh[i]` whether
+    /// `slots[i]` flipped from zero — the word-level multi-set primitive of
+    /// the batched ingest path. Equivalent to calling [`BitArray::set`] per
+    /// slot (duplicates within the block are handled in order: only the
+    /// first occurrence reads as fresh), but bounds-checks the whole block
+    /// up front so the per-bit loop is branch-free.
+    ///
+    /// # Panics
+    /// Panics if `fresh.len() != slots.len()` or any slot is out of range.
+    #[inline]
+    pub fn set_many(&mut self, slots: &[usize], fresh: &mut [bool]) {
+        assert_eq!(slots.len(), fresh.len(), "freshness buffer length mismatch");
+        assert!(slots.iter().all(|&s| s < self.len), "slot out of range {}", self.len);
+        let mut flipped = 0usize;
+        for (f, &slot) in fresh.iter_mut().zip(slots) {
+            let word = &mut self.words[slot >> 6];
+            let mask = 1u64 << (slot & 63);
+            let was_zero = *word & mask == 0;
+            *word |= mask;
+            *f = was_zero;
+            flipped += usize::from(was_zero);
+        }
+        self.zeros -= flipped;
+    }
+
+    /// Tests every bit named in `slots` into `out` — the word-level
+    /// multi-test companion of [`BitArray::set_many`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != slots.len()` or any slot is out of range.
+    #[inline]
+    pub fn test_many(&self, slots: &[usize], out: &mut [bool]) {
+        assert_eq!(slots.len(), out.len(), "output buffer length mismatch");
+        assert!(slots.iter().all(|&s| s < self.len), "slot out of range {}", self.len);
+        for (o, &slot) in out.iter_mut().zip(slots) {
+            *o = (self.words[slot >> 6] >> (slot & 63)) & 1 == 1;
+        }
+    }
+
+    /// Load-only warm-up of the word holding bit `i`, returned so the
+    /// caller can fold many warms into one accumulator and force the whole
+    /// batch with a single `std::hint::black_box`. This is the crate's
+    /// software prefetch: `unsafe` is forbidden, so a demand load standing
+    /// in for a prefetch intrinsic is the best available, and issuing a
+    /// block of independent loads before the read-modify-write pass lets
+    /// the core overlap their misses (the RMW pass then hits L1).
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn warm(&self, i: usize) -> u64 {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i >> 6]
+    }
+
     /// Recomputes the zero count from scratch by popcount. Exposed for tests
     /// and drift checks; always equals [`BitArray::zeros`].
     #[must_use]
@@ -257,6 +313,55 @@ mod tests {
         }
         let got: Vec<usize> = b.iter_ones().collect();
         assert_eq!(got, set);
+    }
+
+    #[test]
+    fn set_many_matches_scalar_sets() {
+        let slots: Vec<usize> = vec![3, 64, 3, 199, 64, 0, 127, 128];
+        let mut batch = BitArray::new(200);
+        let mut fresh = vec![false; slots.len()];
+        batch.set_many(&slots, &mut fresh);
+
+        let mut scalar = BitArray::new(200);
+        let expected: Vec<bool> = slots.iter().map(|&s| scalar.set(s)).collect();
+        assert_eq!(fresh, expected, "duplicate slots: first occurrence is fresh");
+        assert_eq!(batch, scalar);
+        assert_eq!(batch.zeros(), batch.recount_zeros());
+    }
+
+    #[test]
+    fn set_many_empty_block() {
+        let mut b = BitArray::new(64);
+        b.set_many(&[], &mut []);
+        assert_eq!(b.zeros(), 64);
+    }
+
+    #[test]
+    fn test_many_reads_current_state() {
+        let mut b = BitArray::new(100);
+        b.set(5);
+        b.set(70);
+        let mut out = vec![false; 3];
+        b.test_many(&[5, 6, 70], &mut out);
+        assert_eq!(out, [true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_many_rejects_out_of_range() {
+        let mut b = BitArray::new(10);
+        b.set_many(&[3, 10], &mut [false, false]);
+    }
+
+    #[test]
+    fn warm_is_side_effect_free_and_returns_word() {
+        let mut b = BitArray::new(128);
+        b.set(64);
+        assert_eq!(b.warm(0), 0);
+        assert_eq!(b.warm(64), 1);
+        assert_eq!(b.warm(127), 1);
+        assert_eq!(b.zeros(), 127);
+        assert!(b.get(64));
     }
 
     #[test]

@@ -123,6 +123,21 @@ impl PackedArray {
         }
     }
 
+    /// Load-only warm-up of the word holding register `i`, returned so the
+    /// caller can fold many warms into one accumulator and force the batch
+    /// with one `std::hint::black_box` — the crate's software prefetch (no
+    /// `unsafe`, so no prefetch intrinsic). The batch ingest path warms a
+    /// block's registers before the max-update pass.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn warm(&self, i: usize) -> u64 {
+        assert!(i < self.len, "register index {i} out of range {}", self.len);
+        self.words[(i * self.width as usize) >> 6]
+    }
+
     /// Iterates over all register values.
     pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
         (0..self.len).map(move |i| self.load(i))
@@ -189,6 +204,17 @@ mod tests {
         for v in 0..=64u16 {
             assert_eq!(pow2_neg(v), 2f64.powi(-i32::from(v)), "v={v}");
         }
+    }
+
+    #[test]
+    fn warm_is_side_effect_free() {
+        let mut r = PackedArray::new(100, 5);
+        r.store(42, 17);
+        let _ = r.warm(0);
+        let _ = r.warm(42);
+        let _ = r.warm(99);
+        assert_eq!(r.load(42), 17);
+        assert_eq!(r.count_zeros(), 99);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct Cli {
     pub memory_bits: usize,
     /// Hash seed (replayable runs).
     pub seed: u64,
+    /// Ingest batch size: edges handed to `process_batch` per call.
+    /// `0` forces the scalar per-edge path.
+    pub batch: usize,
 }
 
 /// The CLI subcommands.
@@ -128,6 +131,8 @@ COMMON FLAGS:
   --method freebs|freers   estimator (default freebs)
   --memory BITS            shared-array budget in bits (default 8388608)
   --seed N                 hash seed (default 42)
+  --batch N                ingest batch size in edges; 0 = scalar per-edge
+                           path (default 8192)
 
 Edge files: one `user item` pair per line, `#` comments ignored.";
 
@@ -141,6 +146,7 @@ impl Cli {
         let mut method = Method::FreeBS;
         let mut memory_bits = 1usize << 23;
         let mut seed = 42u64;
+        let mut batch = 8192usize;
         let mut top = 10usize;
         let mut delta: Option<f64> = None;
         let mut scale: Option<u64> = None;
@@ -157,6 +163,7 @@ impl Cli {
                     memory_bits = parse_num(value(args, &mut i, "--memory")?, "--memory")?
                 }
                 "--seed" => seed = parse_num(value(args, &mut i, "--seed")?, "--seed")?,
+                "--batch" => batch = parse_num(value(args, &mut i, "--batch")?, "--batch")?,
                 "--top" => top = parse_num(value(args, &mut i, "--top")?, "--top")?,
                 "--delta" => {
                     let v = value(args, &mut i, "--delta")?;
@@ -203,7 +210,7 @@ impl Cli {
             other => return Err(ParseError::UnknownCommand(other.to_string())),
         };
 
-        Ok(Self { command, method, memory_bits, seed })
+        Ok(Self { command, method, memory_bits, seed, batch })
     }
 }
 
@@ -241,6 +248,19 @@ mod tests {
         assert_eq!(cli.method, Method::FreeBS);
         assert_eq!(cli.memory_bits, 1 << 23);
         assert_eq!(cli.seed, 42);
+        assert_eq!(cli.batch, 8192);
+    }
+
+    #[test]
+    fn batch_flag_parses_and_zero_means_scalar() {
+        let cli = Cli::parse(&["estimate", "x.tsv", "--batch", "256"]).expect("parse");
+        assert_eq!(cli.batch, 256);
+        let cli = Cli::parse(&["estimate", "x.tsv", "--batch", "0"]).expect("parse");
+        assert_eq!(cli.batch, 0);
+        assert!(matches!(
+            Cli::parse(&["estimate", "x.tsv", "--batch", "many"]).unwrap_err(),
+            ParseError::BadValue { flag: "--batch", .. }
+        ));
     }
 
     #[test]

@@ -17,9 +17,7 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
         Command::Estimate { path, top } => {
             let edges = load(path)?;
             let mut est = build(cli);
-            for e in &edges {
-                est.process(e.user, e.item);
-            }
+            ingest(est.as_mut(), &edges, cli.batch);
             writeln!(
                 out,
                 "{} edges processed with {} ({} bits); total cardinality ≈ {:.0}",
@@ -39,9 +37,7 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
         Command::Spreaders { path, delta } => {
             let edges = load(path)?;
             let mut est = build(cli);
-            for e in &edges {
-                est.process(e.user, e.item);
-            }
+            ingest(est.as_mut(), &edges, cli.batch);
             let report = freesketch::detect_spreaders(est.as_ref(), *delta);
             writeln!(
                 out,
@@ -76,11 +72,15 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
             let mut est = build(cli);
             let step = (edges.len() / checkpoints.max(&1)).max(1);
             writeln!(out, "{:>12}  {:>12}", "edges seen", "estimate")?;
-            for (i, e) in edges.iter().enumerate() {
-                est.process(e.user, e.item);
-                if (i + 1) % step == 0 || i + 1 == edges.len() {
-                    writeln!(out, "{:>12}  {:>12.1}", i + 1, est.estimate(uid))?;
-                }
+            // Ingest one checkpoint interval at a time (batched within the
+            // interval) so each printed row reflects exactly `step` more
+            // edges, same as the per-edge loop.
+            let mut seen = 0usize;
+            while seen < edges.len() {
+                let end = (seen + step).min(edges.len());
+                ingest(est.as_mut(), &edges[seen..end], cli.batch);
+                seen = end;
+                writeln!(out, "{:>12}  {:>12.1}", seen, est.estimate(uid))?;
             }
         }
     }
@@ -99,6 +99,22 @@ fn resolve_user(edges: &[Edge], user: &str) -> u64 {
         return hash_id(&numeric.to_string());
     }
     hash_id(user)
+}
+
+/// Feeds edges to the estimator via the batched fast path in `batch`-sized
+/// slices, or the scalar per-edge loop when `batch == 0`. Pairs are
+/// converted one slice at a time so peak memory stays O(batch) on top of
+/// the edge list itself.
+fn ingest(est: &mut dyn CardinalityEstimator, edges: &[Edge], batch: usize) {
+    if batch == 0 {
+        for e in edges {
+            est.process(e.user, e.item);
+        }
+    } else {
+        for slice in edges.chunks(batch) {
+            est.process_batch(&graphstream::to_pairs(slice));
+        }
+    }
 }
 
 fn build(cli: &Cli) -> Box<dyn CardinalityEstimator> {
@@ -221,6 +237,26 @@ mod tests {
         assert!(values.len() >= 5, "{out}");
         assert!(values.windows(2).all(|w| w[1] >= w[0]), "not monotone: {values:?}");
         assert!((values.last().expect("non-empty") / 300.0 - 1.0).abs() < 0.1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn batch_and_scalar_ingest_agree() {
+        // Distinct per-user cardinalities so the top list has no ties (tied
+        // estimates may legitimately order differently across ingest paths).
+        let mut content = String::new();
+        for u in 0..10 {
+            for d in 0..(u + 1) * 20 {
+                content.push_str(&format!("user{u} item{u}x{d}\n"));
+            }
+        }
+        let path = write_temp(&content);
+        let p = path.to_str().expect("utf8 path");
+        let batched = run_to_string(&["estimate", p, "--top", "5"]);
+        let scalar = run_to_string(&["estimate", p, "--top", "5", "--batch", "0"]);
+        // At the default 8 Mbit budget the block-q drift is ~1e-5 relative,
+        // far below the printed precision: outputs must be identical.
+        assert_eq!(batched, scalar);
         std::fs::remove_file(path).ok();
     }
 

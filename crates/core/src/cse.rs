@@ -90,17 +90,42 @@ impl Cse {
         let m = self.m() as f64;
         m * m.ln()
     }
+
+    /// The shared-array update for one edge (no counter refresh) — the part
+    /// both the scalar and batched paths must perform identically.
+    #[inline]
+    fn apply_edge(&mut self, user: u64, item: u64) {
+        let i = self.item_hasher.position(item, self.family.arity());
+        let cell = self.family.cell(user, i);
+        self.bits.set(cell);
+    }
 }
 
 impl CardinalityEstimator for Cse {
     #[inline]
     fn process(&mut self, user: u64, item: u64) {
-        let i = self.item_hasher.position(item, self.family.arity());
-        let cell = self.family.cell(user, i);
-        self.bits.set(cell);
+        self.apply_edge(user, item);
         // §V-B streaming harness: refresh only this user's counter (O(m)).
         let fresh = self.estimate_fresh(user);
         self.estimates.insert(user, fresh);
+    }
+
+    /// Batched ingest: applies all bit updates of a run of consecutive
+    /// same-user edges before the one O(m) counter refresh at the end of the
+    /// run. Because no other user's edge intervenes inside a run, the final
+    /// cached estimates are *exactly* those of the scalar path — the skipped
+    /// intermediate refreshes were overwritten anyway.
+    fn process_batch(&mut self, edges: &[(u64, u64)]) {
+        let mut i = 0;
+        while i < edges.len() {
+            let user = edges[i].0;
+            while i < edges.len() && edges[i].0 == user {
+                self.apply_edge(user, edges[i].1);
+                i += 1;
+            }
+            let fresh = self.estimate_fresh(user);
+            self.estimates.insert(user, fresh);
+        }
     }
 
     #[inline]

@@ -2,7 +2,16 @@
 
 use crate::CardinalityEstimator;
 use bitpack::BitArray;
-use hashkit::{EdgeHasher, FxHashMap};
+use hashkit::{CounterMap, EdgeHasher};
+
+/// Batch-ingest block size — [`crate::INGEST_BLOCK`]. Within one block the
+/// sampling probability `q_B` is frozen at its block-start value, so the
+/// per-edge HT increment drifts from the scalar path by a relative factor
+/// of at most `BLOCK / m₀` — far below the estimator's noise floor for any
+/// practically sized array. 512 is deep enough that each memory phase of
+/// the block pipeline keeps the core's miss buffers full, while the
+/// scratch stays a few KB of stack.
+const BLOCK: usize = crate::INGEST_BLOCK;
 
 /// The FreeBS estimator: one shared bit array `B[1..M]`, one counter per
 /// user.
@@ -22,7 +31,7 @@ use hashkit::{EdgeHasher, FxHashMap};
 pub struct FreeBS {
     bits: BitArray,
     hasher: EdgeHasher,
-    estimates: FxHashMap<u64, f64>,
+    estimates: CounterMap,
     total: f64,
 }
 
@@ -36,7 +45,7 @@ impl FreeBS {
         Self {
             bits: BitArray::new(m_bits),
             hasher: EdgeHasher::new(seed),
-            estimates: FxHashMap::default(),
+            estimates: CounterMap::new(),
             total: 0.0,
         }
     }
@@ -78,30 +87,93 @@ impl FreeBS {
     pub fn bit_array(&self) -> &BitArray {
         &self.bits
     }
+
+    /// Credits `delta` to `user`'s HT counter and the running total.
+    #[inline]
+    fn credit(&mut self, user: u64, delta: f64) {
+        self.estimates.add(user, delta);
+        self.total += delta;
+    }
 }
 
 impl CardinalityEstimator for FreeBS {
     #[inline]
     fn process(&mut self, user: u64, item: u64) {
         let slot = self.hasher.slot(user, item, self.bits.len());
-        // Algorithm 1: the increment uses m₀ *before* this bit is cleared —
-        // q_B(t) is defined on the state at t−1.
-        let m0 = self.bits.zeros();
         if self.bits.set(slot) {
-            let inc = self.bits.len() as f64 / m0 as f64;
-            *self.estimates.entry(user).or_insert(0.0) += inc;
-            self.total += inc;
-        } else {
-            // Edge is a duplicate (or a hash collision — indistinguishable,
-            // and exactly the event q_B accounts for): estimate unchanged,
-            // but the user is still registered as seen.
-            self.estimates.entry(user).or_insert(0.0);
+            // Algorithm 1: the increment uses m₀ *before* this bit flipped —
+            // q_B(t) is defined on the state at t−1 — which after a fresh
+            // set is exactly zeros() + 1.
+            let inc = self.bits.len() as f64 / (self.bits.zeros() + 1) as f64;
+            self.credit(user, inc);
+        }
+        // Duplicate edges (or hash collisions — indistinguishable, and
+        // exactly the event q_B accounts for) are discarded for free, as in
+        // Algorithm 1: no counter write, no map lookup.
+    }
+
+    /// Phased batch ingest. Each block of [`BLOCK`] edges runs five passes,
+    /// each a tight loop over one memory stream so the core's miss buffers
+    /// stay full (the scalar path's hash → bit → counter chain serializes
+    /// two cache misses per edge; here each phase's misses overlap):
+    ///
+    /// 1. **hash** — `slots_many` block hashing, no per-edge branches;
+    /// 2. **warm bits** — load-only pass over the block's bit words, folded
+    ///    into one `black_box`, so the set pass hits L1;
+    /// 3. **set** — `set_many` word-level multi-set, recording freshness;
+    /// 4. **warm counters** — compress the fresh edges' users (branchless)
+    ///    and warm their counter home slots;
+    /// 5. **credit** — one `CounterMap::add` per fresh edge, coalescing
+    ///    runs of consecutive same-user edges, with `q_B` frozen at the
+    ///    block-start `m₀` (see [`CardinalityEstimator::process_batch`] for
+    ///    the drift bound) and the running total updated once per block.
+    fn process_batch(&mut self, edges: &[(u64, u64)]) {
+        let m = self.bits.len();
+        let mut slots = [0usize; BLOCK];
+        let mut fresh = [false; BLOCK];
+        let mut fresh_users = [0u64; BLOCK];
+        for chunk in edges.chunks(BLOCK) {
+            let k = chunk.len();
+            self.hasher.slots_many(chunk, m, &mut slots[..k]);
+            let mut acc = 0u64;
+            for &s in &slots[..k] {
+                acc ^= self.bits.warm(s);
+            }
+            std::hint::black_box(acc);
+            // q_B for the whole block is m₀ *before* any of its sets.
+            let m0 = self.bits.zeros();
+            self.bits.set_many(&slots[..k], &mut fresh[..k]);
+            let mut fcount = 0usize;
+            for (&(user, _), &f) in chunk.iter().zip(&fresh[..k]) {
+                fresh_users[fcount] = user;
+                fcount += usize::from(f);
+            }
+            if fcount == 0 {
+                continue; // no bit flipped (m0 == 0 implies this)
+            }
+            let mut acc = 0u64;
+            for &user in &fresh_users[..fcount] {
+                acc ^= self.estimates.warm(user);
+            }
+            std::hint::black_box(acc);
+            let inc = m as f64 / m0 as f64;
+            let mut i = 0usize;
+            while i < fcount {
+                let user = fresh_users[i];
+                let mut run = 1usize;
+                while i + run < fcount && fresh_users[i + run] == user {
+                    run += 1;
+                }
+                self.estimates.add(user, inc * run as f64);
+                i += run;
+            }
+            self.total += inc * fcount as f64;
         }
     }
 
     #[inline]
     fn estimate(&self, user: u64) -> f64 {
-        self.estimates.get(&user).copied().unwrap_or(0.0)
+        self.estimates.get(user).unwrap_or(0.0)
     }
 
     fn total_estimate(&self) -> f64 {
@@ -113,9 +185,7 @@ impl CardinalityEstimator for FreeBS {
     }
 
     fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
-        for (&u, &e) in &self.estimates {
-            f(u, e);
-        }
+        self.estimates.for_each(f);
     }
 
     fn name(&self) -> &'static str {
@@ -249,6 +319,56 @@ mod tests {
         for u in 0..7u64 {
             assert_eq!(a.estimate(u), b.estimate(u));
         }
+    }
+
+    #[test]
+    fn batch_bits_identical_estimates_within_drift() {
+        let mut scalar = FreeBS::new(1 << 13, 21);
+        let mut batch = FreeBS::new(1 << 13, 21);
+        let edges: Vec<(u64, u64)> = (0..4_000u64)
+            .map(|i| (i % 9, hashkit::splitmix64(i) >> 24))
+            .collect();
+        for &(u, d) in &edges {
+            scalar.process(u, d);
+        }
+        batch.process_batch(&edges);
+        assert_eq!(scalar.bit_array(), batch.bit_array(), "bit arrays must match");
+        // Drift bound: BLOCK / final zero count, one-sided (batch <= scalar).
+        let tol = BLOCK as f64 / batch.zeros() as f64;
+        for u in 0..9u64 {
+            let (s, b) = (scalar.estimate(u), batch.estimate(u));
+            assert!(b <= s + 1e-9, "user {u}: batch {b} must not exceed scalar {s}");
+            assert!((s - b) <= s * tol + 1e-9, "user {u}: {s} vs {b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn batch_empty_and_single_edge() {
+        let mut f = FreeBS::new(1024, 3);
+        f.process_batch(&[]);
+        assert_eq!(f.total_estimate(), 0.0);
+        f.process_batch(&[(5, 77)]);
+        assert_eq!(f.estimate(5), 1.0);
+    }
+
+    #[test]
+    fn all_duplicate_user_is_not_registered() {
+        // Algorithm 1: an edge that lands on a set bit is discarded
+        // entirely — a user whose every edge is a duplicate stays untracked.
+        let mut f = FreeBS::new(1024, 1);
+        f.process(1, 7);
+        let slot_owner_estimate = f.estimate(1);
+        assert_eq!(slot_owner_estimate, 1.0);
+        f.process(2, 7); // same pair hashes differently; craft a real dup:
+        f.process(1, 7); // exact duplicate of user 1's edge
+        assert_eq!(f.estimate(1), 1.0);
+        let mut users = Vec::new();
+        f.for_each_estimate(&mut |u, _| users.push(u));
+        users.sort_unstable();
+        // User 2's edge is fresh with overwhelming probability at 2/1024
+        // load; the invariant under test is that replaying user 1's edge
+        // did not create duplicate bookkeeping.
+        assert_eq!(users.iter().filter(|&&u| u == 1).count(), 1);
     }
 
     #[test]

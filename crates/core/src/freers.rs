@@ -2,7 +2,12 @@
 
 use crate::CardinalityEstimator;
 use bitpack::PackedArray;
-use hashkit::{EdgeHasher, FxHashMap};
+use hashkit::{geometric_rank, reduce64, splitmix64, CounterMap, EdgeHasher};
+
+/// Batch-ingest block size — [`crate::INGEST_BLOCK`]; `q_R` is frozen at
+/// its block-start value inside one block, bounding the per-edge HT drift
+/// by `BLOCK / Z` relative (see [`CardinalityEstimator::process_batch`]).
+const BLOCK: usize = crate::INGEST_BLOCK;
 
 /// How many register-growth events may pass between exact recomputations of
 /// `Z = Σ_j 2^{-R[j]}`. Each incremental update adds one rounding error of
@@ -38,7 +43,7 @@ const Z_REBUILD_INTERVAL: u64 = 1 << 20;
 pub struct FreeRS {
     registers: PackedArray,
     hasher: EdgeHasher,
-    estimates: FxHashMap<u64, f64>,
+    estimates: CounterMap,
     /// Incrementally maintained `Z = Σ_j 2^{-R[j]}`.
     z: f64,
     total: f64,
@@ -71,7 +76,7 @@ impl FreeRS {
         Self {
             registers,
             hasher: EdgeHasher::new(seed),
-            estimates: FxHashMap::default(),
+            estimates: CounterMap::new(),
             z,
             total: 0.0,
             growths_since_rebuild: 0,
@@ -117,6 +122,13 @@ impl FreeRS {
     pub fn registers(&self) -> &PackedArray {
         &self.registers
     }
+
+    /// Credits `delta` to `user`'s HT counter and the running total.
+    #[inline]
+    fn credit(&mut self, user: u64, delta: f64) {
+        self.estimates.add(user, delta);
+        self.total += delta;
+    }
 }
 
 impl CardinalityEstimator for FreeRS {
@@ -134,22 +146,88 @@ impl CardinalityEstimator for FreeRS {
             // a one-register discrepancy from the text; we follow the text,
             // mirroring Algorithm 1's use of the pre-update m₀.)
             let q = self.z / self.registers.len() as f64;
-            let inc = 1.0 / q;
-            *self.estimates.entry(user).or_insert(0.0) += inc;
-            self.total += inc;
+            self.credit(user, 1.0 / q);
             self.z += pow2_neg(new) - pow2_neg(old);
             self.growths_since_rebuild += 1;
             if self.growths_since_rebuild >= Z_REBUILD_INTERVAL {
                 self.rebuild_z();
             }
-        } else {
-            self.estimates.entry(user).or_insert(0.0);
+        }
+        // Non-growing edges are discarded for free, as in Algorithm 2: no
+        // counter write, no map lookup.
+    }
+
+    /// Phased batch ingest, mirroring [`FreeBS`]'s block pipeline: block
+    /// hashing, a load-only warm pass over the block's register words, the
+    /// max-update pass (recording growths and summing the exact `Z` delta
+    /// once per block), then a warm + credit pass over the growing edges'
+    /// counters with `q_R` frozen at its block-start value (drift bound on
+    /// [`CardinalityEstimator::process_batch`]). The rebuild-interval check
+    /// runs once per block instead of once per growth.
+    ///
+    /// [`FreeBS`]: crate::FreeBS
+    fn process_batch(&mut self, edges: &[(u64, u64)]) {
+        let m = self.registers.len();
+        let width = self.registers.width();
+        let mut hashes = [0u64; BLOCK];
+        let mut grew = [false; BLOCK];
+        let mut grew_users = [0u64; BLOCK];
+        for chunk in edges.chunks(BLOCK) {
+            let k = chunk.len();
+            self.hasher.hash_many(chunk, &mut hashes[..k]);
+            let mut acc = 0u64;
+            for &h in &hashes[..k] {
+                acc ^= self.registers.warm(reduce64(h, m));
+            }
+            std::hint::black_box(acc);
+            // q_R for the whole block reads Z *before* any of its updates;
+            // z >= M·2^{-(2^w - 1)} > 0, so the frozen inc is finite.
+            let inc = m as f64 / self.z;
+            let mut z_delta = 0.0f64;
+            let mut growths = 0usize;
+            for (i, &h) in hashes[..k].iter().enumerate() {
+                let slot = reduce64(h, m);
+                let new = u16::from(geometric_rank(splitmix64(h)).saturated(width));
+                let grown = self.registers.store_max(slot, new);
+                grew[i] = grown.is_some();
+                if let Some(old) = grown {
+                    z_delta += pow2_neg(new) - pow2_neg(old);
+                }
+            }
+            for (&(user, _), &g) in chunk.iter().zip(&grew[..k]) {
+                grew_users[growths] = user;
+                growths += usize::from(g);
+            }
+            if growths == 0 {
+                continue;
+            }
+            let mut acc = 0u64;
+            for &user in &grew_users[..growths] {
+                acc ^= self.estimates.warm(user);
+            }
+            std::hint::black_box(acc);
+            let mut i = 0usize;
+            while i < growths {
+                let user = grew_users[i];
+                let mut run = 1usize;
+                while i + run < growths && grew_users[i + run] == user {
+                    run += 1;
+                }
+                self.estimates.add(user, inc * run as f64);
+                i += run;
+            }
+            self.total += inc * growths as f64;
+            self.z += z_delta;
+            self.growths_since_rebuild += growths as u64;
+            if self.growths_since_rebuild >= Z_REBUILD_INTERVAL {
+                self.rebuild_z();
+            }
         }
     }
 
     #[inline]
     fn estimate(&self, user: u64) -> f64 {
-        self.estimates.get(&user).copied().unwrap_or(0.0)
+        self.estimates.get(user).unwrap_or(0.0)
     }
 
     fn total_estimate(&self) -> f64 {
@@ -161,9 +239,7 @@ impl CardinalityEstimator for FreeRS {
     }
 
     fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
-        for (&u, &e) in &self.estimates {
-            f(u, e);
-        }
+        self.estimates.for_each(f);
     }
 
     fn name(&self) -> &'static str {
@@ -295,6 +371,37 @@ mod tests {
             assert!(f.estimate(1) > 0.0);
             assert_eq!(f.memory_bits(), 512 * usize::from(w));
         }
+    }
+
+    #[test]
+    fn batch_registers_identical_estimates_within_drift() {
+        let mut scalar = FreeRS::new(1 << 11, 23);
+        let mut batch = FreeRS::new(1 << 11, 23);
+        let edges: Vec<(u64, u64)> = (0..6_000u64)
+            .map(|i| (i % 11, hashkit::splitmix64(i) >> 16))
+            .collect();
+        for &(u, d) in &edges {
+            scalar.process(u, d);
+        }
+        batch.process_batch(&edges);
+        assert_eq!(scalar.registers(), batch.registers(), "registers must match");
+        assert!(batch.rebuild_z() < 1e-9, "batch Z must stay exact");
+        // Drift bound: BLOCK / Z_final, one-sided (batch <= scalar).
+        let tol = BLOCK as f64 / batch.z;
+        for u in 0..11u64 {
+            let (s, b) = (scalar.estimate(u), batch.estimate(u));
+            assert!(b <= s + 1e-9, "user {u}: batch {b} must not exceed scalar {s}");
+            assert!((s - b) <= s * tol + 1e-9, "user {u}: {s} vs {b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn batch_empty_and_single_edge() {
+        let mut f = FreeRS::new(1024, 3);
+        f.process_batch(&[]);
+        assert_eq!(f.total_estimate(), 0.0);
+        f.process_batch(&[(5, 77)]);
+        assert_eq!(f.estimate(5), 1.0);
     }
 
     #[test]

@@ -52,6 +52,13 @@ mod vhll;
 mod window;
 
 pub use concurrent_rs::ConcurrentFreeRS;
+
+/// Internal block depth of the batched ingest fast path: `process_batch`
+/// freezes the sampling probability `q` for `INGEST_BLOCK` edges at a time
+/// (see [`CardinalityEstimator::process_batch`] for the resulting drift
+/// bound) and phases each block's memory traffic so cache misses overlap.
+/// Exposed so tests and callers can reason about the drift tolerance.
+pub const INGEST_BLOCK: usize = 512;
 pub use confidence::{ConfidenceTracking, EstimateWithCi, SamplingProbability};
 pub use cse::Cse;
 pub use freebs::FreeBS;
@@ -72,6 +79,30 @@ pub use window::Windowed;
 pub trait CardinalityEstimator {
     /// Observes edge `(user, item)` — the paper's `e(t) = (s(t), d(t))`.
     fn process(&mut self, user: u64, item: u64);
+
+    /// Observes a slice of edges at once — the batched ingest fast path.
+    ///
+    /// The default implementation is a plain per-edge loop, so every
+    /// estimator gets the API for free; [`FreeBS`], [`FreeRS`], [`Cse`] and
+    /// [`VHll`] override it with hand-optimized block pipelines (block
+    /// hashing, software prefetch of the next block's array words, and
+    /// amortized `q`/counter maintenance).
+    ///
+    /// **Contract:** the final shared-array state (bits/registers) is
+    /// *identical* to processing the same edges one at a time in order. The
+    /// per-user estimates agree with the scalar path up to the
+    /// block-granularity `q` drift: a batch implementation may freeze the
+    /// sampling probability `q` at the start of each internal block of `B`
+    /// edges, which perturbs each Horvitz–Thompson increment by a relative
+    /// factor of at most `B / m₀` (FreeBS, `m₀` = current zero bits) or
+    /// `B / Z` (FreeRS, `Z = Σ 2^{-R[j]}`) — one-sided and vanishing for
+    /// `M ≫ B`. Proptests in `crates/core/tests/proptests.rs` assert both
+    /// properties for every implementation.
+    fn process_batch(&mut self, edges: &[(u64, u64)]) {
+        for &(user, item) in edges {
+            self.process(user, item);
+        }
+    }
 
     /// The current cardinality estimate `n̂_s(t)` for `user` (0 for users
     /// never seen). O(1) for every implementation.

@@ -129,11 +129,12 @@ impl VHll {
             self.zeros_global,
         )
     }
-}
 
-impl CardinalityEstimator for VHll {
+    /// The shared-array update for one edge (register max-update plus the
+    /// incremental global `Z`/zero bookkeeping, no counter refresh) — the
+    /// part both the scalar and batched paths must perform identically.
     #[inline]
-    fn process(&mut self, user: u64, item: u64) {
+    fn apply_edge(&mut self, user: u64, item: u64) {
         let (i, rank) = self
             .item_hasher
             .position_and_rank(item, self.family.arity());
@@ -143,9 +144,34 @@ impl CardinalityEstimator for VHll {
             self.z_global += pow2_neg(new) - pow2_neg(old);
             self.zeros_global -= usize::from(old == 0);
         }
+    }
+}
+
+impl CardinalityEstimator for VHll {
+    #[inline]
+    fn process(&mut self, user: u64, item: u64) {
+        self.apply_edge(user, item);
         // §V-B streaming harness: refresh only this user's counter (O(m)).
         let fresh = self.estimate_fresh(user);
         self.estimates.insert(user, fresh);
+    }
+
+    /// Batched ingest: applies all register max-updates of a run of
+    /// consecutive same-user edges before the one O(m) counter refresh at
+    /// the end of the run. Exactly equivalent to the scalar path — the
+    /// skipped intermediate refreshes were overwritten anyway, and the
+    /// incremental global `Z`/zero-count bookkeeping is identical.
+    fn process_batch(&mut self, edges: &[(u64, u64)]) {
+        let mut i = 0;
+        while i < edges.len() {
+            let user = edges[i].0;
+            while i < edges.len() && edges[i].0 == user {
+                self.apply_edge(user, edges[i].1);
+                i += 1;
+            }
+            let fresh = self.estimate_fresh(user);
+            self.estimates.insert(user, fresh);
+        }
     }
 
     #[inline]

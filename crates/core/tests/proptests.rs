@@ -65,6 +65,104 @@ proptest! {
         prop_assert_eq!(before, after);
     }
 
+    /// The batched ingest contract (`CardinalityEstimator::process_batch`):
+    /// for every estimator, one `process_batch` call leaves the shared
+    /// array *identical* to per-edge processing, and the per-user estimates
+    /// agree within the documented block-granularity q drift — exactly for
+    /// the estimators whose batch path introduces no q freezing (CSE, vHLL,
+    /// per-user baselines via the default implementation), and within
+    /// `INGEST_BLOCK / m₀` (FreeBS) resp. `INGEST_BLOCK / Z` (FreeRS),
+    /// one-sided (batch never exceeds scalar), for the HT estimators.
+    #[test]
+    fn batch_matches_scalar_within_documented_drift(stream in edges(), seed: u64) {
+        // FreeBS: identical bits, bounded one-sided estimate drift.
+        let mut scalar = FreeBS::new(1 << 14, seed);
+        let mut batch = FreeBS::new(1 << 14, seed);
+        for &(u, d) in &stream {
+            scalar.process(u, d);
+        }
+        batch.process_batch(&stream);
+        prop_assert_eq!(scalar.bit_array(), batch.bit_array());
+        let tol_b = freesketch::INGEST_BLOCK as f64 / batch.zeros().max(1) as f64;
+        for u in 0..32u64 {
+            let (s, b) = (scalar.estimate(u), batch.estimate(u));
+            prop_assert!(b <= s + 1e-9, "FreeBS user {}: batch {} > scalar {}", u, b, s);
+            prop_assert!(s - b <= s * tol_b + 1e-9, "FreeBS user {}: {} vs {}", u, s, b);
+        }
+
+        // FreeRS: identical registers, bounded one-sided estimate drift.
+        let mut scalar = FreeRS::new(1 << 11, seed);
+        let mut batch = FreeRS::new(1 << 11, seed);
+        for &(u, d) in &stream {
+            scalar.process(u, d);
+        }
+        batch.process_batch(&stream);
+        prop_assert_eq!(scalar.registers(), batch.registers());
+        let z = batch.q() * batch.capacity() as f64;
+        let tol_r = freesketch::INGEST_BLOCK as f64 / z;
+        for u in 0..32u64 {
+            let (s, b) = (scalar.estimate(u), batch.estimate(u));
+            prop_assert!(b <= s + 1e-9, "FreeRS user {}: batch {} > scalar {}", u, b, s);
+            prop_assert!(s - b <= s * tol_r + 1e-9, "FreeRS user {}: {} vs {}", u, s, b);
+        }
+
+        // CSE / vHLL: run-grouped batch refresh is exactly the scalar final
+        // state. Per-user baselines exercise the default per-edge loop.
+        let mut pairs: Vec<(Box<dyn CardinalityEstimator>, Box<dyn CardinalityEstimator>)> = vec![
+            (Box::new(Cse::new(1 << 13, 128, seed)), Box::new(Cse::new(1 << 13, 128, seed))),
+            (Box::new(VHll::new(1 << 10, 64, seed)), Box::new(VHll::new(1 << 10, 64, seed))),
+            (Box::new(PerUserLpc::new(256, seed)), Box::new(PerUserLpc::new(256, seed))),
+            (Box::new(PerUserHllpp::new(6, seed)), Box::new(PerUserHllpp::new(6, seed))),
+        ];
+        for (scalar, batch) in &mut pairs {
+            for &(u, d) in &stream {
+                scalar.process(u, d);
+            }
+            batch.process_batch(&stream);
+            for u in 0..32u64 {
+                prop_assert_eq!(
+                    scalar.estimate(u),
+                    batch.estimate(u),
+                    "{} user {}", scalar.name(), u
+                );
+            }
+        }
+    }
+
+    /// Batched ingest is insensitive to how the stream is sliced: empty
+    /// slices are no-ops and any chunking produces the same shared array.
+    #[test]
+    fn batch_chunking_is_equivalent(stream in edges(), seed: u64, chunk in 1usize..700) {
+        let mut whole = FreeBS::new(1 << 13, seed);
+        whole.process_batch(&stream);
+        let mut sliced = FreeBS::new(1 << 13, seed);
+        sliced.process_batch(&[]);
+        for c in stream.chunks(chunk) {
+            sliced.process_batch(c);
+        }
+        sliced.process_batch(&[]);
+        prop_assert_eq!(whole.bit_array(), sliced.bit_array());
+        prop_assert_eq!(whole.user_count(), sliced.user_count());
+    }
+
+    /// Single-edge batches are exactly single-edge processing for every
+    /// estimator (block logic must not disturb the degenerate case).
+    #[test]
+    fn single_edge_batch_is_process(u in 0u64..32, d: u64, seed: u64) {
+        for (mut a, mut b) in [
+            (Box::new(FreeBS::new(1 << 12, seed)) as Box<dyn CardinalityEstimator>,
+             Box::new(FreeBS::new(1 << 12, seed)) as Box<dyn CardinalityEstimator>),
+            (Box::new(FreeRS::new(1 << 9, seed)) as _, Box::new(FreeRS::new(1 << 9, seed)) as _),
+            (Box::new(Cse::new(1 << 12, 64, seed)) as _, Box::new(Cse::new(1 << 12, 64, seed)) as _),
+            (Box::new(VHll::new(1 << 9, 32, seed)) as _, Box::new(VHll::new(1 << 9, 32, seed)) as _),
+        ] {
+            a.process(u, d);
+            b.process_batch(&[(u, d)]);
+            prop_assert_eq!(a.estimate(u), b.estimate(u), "{}", a.name());
+            prop_assert_eq!(a.total_estimate(), b.total_estimate(), "{}", a.name());
+        }
+    }
+
     /// Users that never appeared estimate exactly zero; users that appeared
     /// estimate non-negatively.
     #[test]

@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod countermap;
 mod family;
 mod fxmap;
 mod mix;
 mod rank;
 mod xxhash;
 
+pub use countermap::CounterMap;
 pub use family::{HashFamily, UserItemHasher};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mix::{mix64, mix64_pair, splitmix64, SplitMix64};
@@ -105,6 +107,39 @@ impl EdgeHasher {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Hashes a block of edges into `out[..edges.len()]` — the block form of
+    /// [`EdgeHasher::hash_edge`] used by the batched ingest fast path.
+    ///
+    /// The loop body is a fixed sequence of multiplies, rotates and xors with
+    /// no per-edge branches, so the compiler is free to unroll and
+    /// auto-vectorize it; hashing a block at a time is what makes the batch
+    /// path's hash cost amortizable.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `edges`.
+    #[inline]
+    pub fn hash_many(&self, edges: &[(u64, u64)], out: &mut [u64]) {
+        assert!(out.len() >= edges.len(), "output buffer too small");
+        for (o, &(user, item)) in out.iter_mut().zip(edges) {
+            *o = mix64_pair(self.seed, user, item);
+        }
+    }
+
+    /// Maps a block of edges to slots in `0..m` — the block form of
+    /// [`EdgeHasher::slot`]. One bounds assert for the whole block instead of
+    /// one per edge.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `out` is shorter than `edges`.
+    #[inline]
+    pub fn slots_many(&self, edges: &[(u64, u64)], m: usize, out: &mut [usize]) {
+        assert!(m > 0, "slot range must be non-empty");
+        assert!(out.len() >= edges.len(), "output buffer too small");
+        for (o, &(user, item)) in out.iter_mut().zip(edges) {
+            *o = reduce64(mix64_pair(self.seed, user, item), m);
+        }
+    }
 }
 
 /// Multiply-shift reduction of a 64-bit hash onto `0..m` without modulo bias
@@ -164,6 +199,37 @@ mod tests {
                 assert!(reduce64(h, m) < m);
             }
         }
+    }
+
+    #[test]
+    fn hash_many_matches_scalar() {
+        let h = EdgeHasher::new(5);
+        let edges: Vec<(u64, u64)> = (0..100u64).map(|i| (i % 7, i.wrapping_mul(31))).collect();
+        let mut hashes = vec![0u64; edges.len()];
+        h.hash_many(&edges, &mut hashes);
+        let mut slots = vec![0usize; edges.len()];
+        h.slots_many(&edges, 4096, &mut slots);
+        for (i, &(u, d)) in edges.iter().enumerate() {
+            assert_eq!(hashes[i], h.hash_edge(u, d));
+            assert_eq!(slots[i], h.slot(u, d, 4096));
+        }
+    }
+
+    #[test]
+    fn hash_many_empty_is_noop() {
+        let h = EdgeHasher::new(5);
+        let mut out: Vec<u64> = Vec::new();
+        h.hash_many(&[], &mut out);
+        let mut slots: Vec<usize> = Vec::new();
+        h.slots_many(&[], 16, &mut slots);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer too small")]
+    fn slots_many_rejects_short_buffer() {
+        let h = EdgeHasher::new(5);
+        let mut out = vec![0usize; 1];
+        h.slots_many(&[(1, 2), (3, 4)], 16, &mut out);
     }
 
     #[test]

@@ -24,5 +24,14 @@ printf 'alice a\nalice b\nalice b\nbob a\n' > "$tmp/edges.tsv"
 # --release would recompile the whole workspace in the dev profile.
 ./target/release/freesketch --help > /dev/null
 ./target/release/freesketch estimate "$tmp/edges.tsv" --top 2 > /dev/null
+# Batch and scalar ingest paths must agree through the CLI.
+./target/release/freesketch estimate "$tmp/edges.tsv" --batch 0 > /dev/null
+
+echo "==> ingest throughput smoke (1M synthetic edges through the batch path)"
+./target/release/exp_ingest --quick --json --out "$tmp/BENCH_ingest.json"
+test -s "$tmp/BENCH_ingest.json" || { echo "exp_ingest wrote no JSON"; exit 1; }
+grep -q '"mode": "batch"' "$tmp/BENCH_ingest.json" || {
+  echo "exp_ingest JSON missing batch results"; exit 1;
+}
 
 echo "verify: OK"
