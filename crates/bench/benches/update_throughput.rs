@@ -135,5 +135,57 @@ fn bench_om(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_o1, bench_batch, bench_om);
+/// Thread-scaling of the sharded concurrent mode: aggregate ingest rate of
+/// `ShardedFreeBS` (4 shards) at 1 and 2 threads, with the unsharded
+/// `ConcurrentFreeBS` at 2 threads as the contention baseline. Each thread
+/// replays a disjoint chunk of the stream through `ingest_batch`. The
+/// interesting ratio is `sharded/2` vs `sharded/1` — on a multi-core host
+/// it approaches 2×; `exp_ingest --threads N` measures the same thing
+/// outside criterion and records it in `BENCH_scaling.json`.
+fn bench_sharded_scaling(c: &mut Criterion) {
+    use freesketch::{ConcurrentEstimator, ConcurrentFreeBS, ShardedFreeBS};
+    let edges = test_edges(200_000);
+    let pairs: Vec<(u64, u64)> = edges.iter().map(|e| (e.user, e.item)).collect();
+    let mut group = c.benchmark_group("update/sharded");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.sample_size(10);
+
+    let run_threads = |est: &dyn ConcurrentEstimator, threads: usize| {
+        let chunk = pairs.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for part in pairs.chunks(chunk) {
+                s.spawn(move || est.ingest_batch(part));
+            }
+        });
+        black_box(est.total_estimate())
+    };
+
+    for threads in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("ShardedFreeBS", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let est = ShardedFreeBS::new(1 << 22, 4, 1);
+                    run_threads(&est, threads)
+                });
+            },
+        );
+    }
+    group.bench_function("ConcurrentFreeBS/2", |b| {
+        b.iter(|| {
+            let est = ConcurrentFreeBS::new(1 << 22, 1);
+            run_threads(&est, 2)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_o1,
+    bench_batch,
+    bench_om,
+    bench_sharded_scaling
+);
 criterion_main!(benches);

@@ -15,8 +15,18 @@ use metrics::Table;
 
 fn main() {
     println!("Ablation A5: FreeRS incremental-Z drift\n");
-    let mut table = Table::new(["registers", "edges", "|Z_inc - Z_exact|", "Z_exact", "rel drift"]);
-    for &(m_regs, edges) in &[(1usize << 10, 100_000u64), (1 << 14, 1_000_000), (1 << 17, 4_000_000)] {
+    let mut table = Table::new([
+        "registers",
+        "edges",
+        "|Z_inc - Z_exact|",
+        "Z_exact",
+        "rel drift",
+    ]);
+    for &(m_regs, edges) in &[
+        (1usize << 10, 100_000u64),
+        (1 << 14, 1_000_000),
+        (1 << 17, 4_000_000),
+    ] {
         let mut f = FreeRS::new(m_regs, 7);
         for d in 0..edges {
             f.process(d % 1024, d);

@@ -46,6 +46,8 @@ fn main() {
         }
     }
     print!("{}", table.render());
-    println!("\n(expect CSE to flatline near {:.0}; FreeBS/FreeRS keep tracking)",
-        freesketch::theory::cse_range(m as f64));
+    println!(
+        "\n(expect CSE to flatline near {:.0}; FreeBS/FreeRS keep tracking)",
+        freesketch::theory::cse_range(m as f64)
+    );
 }

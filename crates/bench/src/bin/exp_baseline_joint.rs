@@ -32,7 +32,11 @@ fn main() {
         for (user, actual) in truth.iter() {
             bins.record(actual, est.estimate(user));
         }
-        table.row([est.name().to_string(), config.to_string(), metrics::sci(bins.mean_rse())]);
+        table.row([
+            est.name().to_string(),
+            config.to_string(),
+            metrics::sci(bins.mean_rse()),
+        ]);
     };
 
     for k in [2usize, 3] {

@@ -38,7 +38,9 @@ fn main() {
             }
             let est = method.estimate(user);
             let idx = ((actual as f64).log10() * 4.0).floor() as i64;
-            let e = bins.entry(idx).or_insert((0.0, f64::INFINITY, f64::NEG_INFINITY, 0));
+            let e = bins
+                .entry(idx)
+                .or_insert((0.0, f64::INFINITY, f64::NEG_INFINITY, 0));
             e.0 += est;
             e.1 = e.1.min(est);
             e.2 = e.2.max(est);

@@ -43,7 +43,15 @@ fn main() {
         .collect::<Vec<_>>();
     let mut truth = GroundTruth::new();
 
-    let mut fnr_table = Table::new(["t", "FreeBS", "FreeRS", "CSE", "vHLL", "HLL++", "#spreaders"]);
+    let mut fnr_table = Table::new([
+        "t",
+        "FreeBS",
+        "FreeRS",
+        "CSE",
+        "vHLL",
+        "HLL++",
+        "#spreaders",
+    ]);
     let mut fpr_table = Table::new(["t", "FreeBS", "FreeRS", "CSE", "vHLL", "HLL++"]);
 
     let slice_len = stream.len().div_ceil(SLICES);

@@ -9,14 +9,17 @@
 //!
 //! ```text
 //! cargo run -p freesketch-bench --release --bin exp_ingest [--quick] \
-//!     [--edges N] [--json] [--out PATH]
+//!     [--edges N] [--json] [--out PATH] [--threads T] [--scaling-out PATH]
 //! ```
 //!
 //! `--json` additionally writes the machine-readable `BENCH_ingest.json`
 //! (override the path with `--out`), so the perf trajectory is tracked
-//! across PRs.
+//! across PRs. `--threads T` (T ≥ 2) adds a sharded thread-scaling
+//! section — aggregate edges/s of `ShardedFreeBS`/`ShardedFreeRS` at 1 and
+//! T ingest threads — and, with `--json`, records it in
+//! `BENCH_scaling.json` (override with `--scaling-out`).
 
-use freesketch::{CardinalityEstimator, FreeBS, FreeRS};
+use freesketch::{CardinalityEstimator, ConcurrentEstimator, FreeBS, FreeRS};
 use graphstream::SynthConfig;
 use metrics::Table;
 
@@ -36,6 +39,8 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let mut edges_target: usize = if quick { 1_000_000 } else { 10_000_000 };
     let mut out_path = "BENCH_ingest.json".to_string();
+    let mut scaling_out_path = "BENCH_scaling.json".to_string();
+    let mut threads = 1usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,9 +55,26 @@ fn main() {
                 });
                 i += 1;
             }
+            "--threads" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("--threads needs a value");
+                    std::process::exit(2);
+                });
+                threads = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --threads value `{raw}` (expected an integer)");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
             "--out" => {
                 if let Some(v) = args.get(i + 1) {
                     out_path.clone_from(v);
+                    i += 1;
+                }
+            }
+            "--scaling-out" => {
+                if let Some(v) = args.get(i + 1) {
+                    scaling_out_path.clone_from(v);
                     i += 1;
                 }
             }
@@ -119,7 +141,11 @@ fn main() {
             r.mode.to_string(),
             format!("{:.3}", r.seconds),
             format!("{:.2e}", r.edges_per_sec),
-            if r.mode == "batch" { speedup } else { "1.00x".to_string() },
+            if r.mode == "batch" {
+                speedup
+            } else {
+                "1.00x".to_string()
+            },
         ]);
     }
     print!("{}", table.render());
@@ -129,6 +155,119 @@ fn main() {
         std::fs::write(&out_path, body).expect("write JSON results");
         println!("\nwrote {out_path}");
     }
+
+    if threads >= 2 {
+        let scaling = measure_scaling(&pairs, m_bits, threads);
+        let mut table = Table::new(["method", "threads", "seconds", "edges/s", "scaling"]);
+        for r in &scaling {
+            let base = scaling
+                .iter()
+                .find(|x| x.method == r.method && x.threads == 1)
+                .map_or(r.edges_per_sec, |x| x.edges_per_sec);
+            table.row(vec![
+                r.method.to_string(),
+                r.threads.to_string(),
+                format!("{:.3}", r.seconds),
+                format!("{:.2e}", r.edges_per_sec),
+                format!("{:.2}x", r.edges_per_sec / base),
+            ]);
+        }
+        println!("\nSharded thread scaling ({threads} ingest threads, 4 shards):");
+        print!("{}", table.render());
+        if json {
+            let body = render_scaling_json(pairs.len(), threads, &scaling);
+            std::fs::write(&scaling_out_path, body).expect("write scaling JSON");
+            println!("\nwrote {scaling_out_path}");
+        }
+    }
+}
+
+/// One measured thread-scaling configuration.
+struct ScalingRun {
+    method: &'static str,
+    threads: usize,
+    seconds: f64,
+    edges_per_sec: f64,
+}
+
+/// Aggregate ingest rate of the sharded estimators at 1 and `threads`
+/// ingest threads (disjoint chunks, `ingest_batch` in `REPLAY_BATCH`
+/// slices per thread). Best of [`REPS`] runs each.
+fn measure_scaling(pairs: &[(u64, u64)], m_bits: usize, threads: usize) -> Vec<ScalingRun> {
+    let shards = 4usize;
+    let mut out = Vec::new();
+    for method in ["ShardedFreeBS", "ShardedFreeRS"] {
+        for t in [1usize, threads] {
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let est: Box<dyn ConcurrentEstimator> = match method {
+                    "ShardedFreeBS" => Box::new(freesketch::ShardedFreeBS::new(m_bits, shards, 1)),
+                    _ => Box::new(freesketch::ShardedFreeRS::new(m_bits / 5, shards, 1)),
+                };
+                let chunk = pairs.len().div_ceil(t);
+                let start = std::time::Instant::now();
+                std::thread::scope(|s| {
+                    for part in pairs.chunks(chunk) {
+                        let est = est.as_ref();
+                        s.spawn(move || {
+                            for slice in part.chunks(bench::REPLAY_BATCH) {
+                                est.ingest_batch(slice);
+                            }
+                        });
+                    }
+                });
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            out.push(ScalingRun {
+                method,
+                threads: t,
+                seconds: best,
+                edges_per_sec: pairs.len() as f64 / best,
+            });
+        }
+    }
+    out
+}
+
+/// Hand-rendered scaling JSON (same offline constraint as
+/// [`render_json`]): per-(method, threads) rates plus the T-vs-1 speedup.
+fn render_scaling_json(edges: usize, threads: usize, runs: &[ScalingRun]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"experiment\": \"exp_ingest_scaling\",\n  \"edges\": {edges},\n  \"threads\": {threads},\n  \"shards\": 4,\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"method\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \"edges_per_sec\": {:.1}}}{}\n",
+            r.method,
+            r.threads,
+            r.seconds,
+            r.edges_per_sec,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"scaling\": {");
+    let mut first = true;
+    for method in ["ShardedFreeBS", "ShardedFreeRS"] {
+        let base = runs.iter().find(|r| r.method == method && r.threads == 1);
+        let multi = runs
+            .iter()
+            .find(|r| r.method == method && r.threads == threads);
+        if let (Some(b), Some(m)) = (base, multi) {
+            if !first {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{method}\": {:.3}",
+                m.edges_per_sec / b.edges_per_sec
+            ));
+            first = false;
+        }
+    }
+    s.push_str("}\n}\n");
+    s
 }
 
 fn scalar_rate(runs: &[Run], method: &str) -> Option<f64> {
@@ -142,7 +281,9 @@ fn scalar_rate(runs: &[Run], method: &str) -> Option<f64> {
 fn render_json(edges: usize, runs: &[Run]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"experiment\": \"exp_ingest\",\n  \"edges\": {edges},\n"));
+    s.push_str(&format!(
+        "  \"experiment\": \"exp_ingest\",\n  \"edges\": {edges},\n"
+    ));
     s.push_str("  \"results\": [\n");
     for (i, r) in runs.iter().enumerate() {
         s.push_str(&format!(

@@ -20,7 +20,13 @@ const DELTA: f64 = 5e-5;
 fn main() {
     println!("Table II: super-spreader detection, Δ = {DELTA}\n");
     let mut fnr_table = Table::new([
-        "dataset", "FreeBS", "FreeRS", "CSE", "vHLL", "HLL++", "#spreaders",
+        "dataset",
+        "FreeBS",
+        "FreeRS",
+        "CSE",
+        "vHLL",
+        "HLL++",
+        "#spreaders",
     ]);
     let mut fpr_table = Table::new(["dataset", "FreeBS", "FreeRS", "CSE", "vHLL", "HLL++"]);
 

@@ -154,7 +154,10 @@ mod tests {
                     s.spawn(move || (0..4096).filter(|&i| arr.set(i)).count())
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("thread panicked")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("thread panicked"))
+                .sum()
         });
         assert_eq!(wins, 4096, "each bit must be flipped exactly once overall");
         assert_eq!(arr.zeros(), 0);

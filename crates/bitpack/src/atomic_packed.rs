@@ -123,12 +123,8 @@ impl AtomicPackedArray {
                 return None;
             }
             let updated = (current & !(mask << off)) | (u64::from(value) << off);
-            match slot.compare_exchange_weak(
-                current,
-                updated,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match slot.compare_exchange_weak(current, updated, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return Some(old),
                 Err(actual) => current = actual,
             }
@@ -231,7 +227,10 @@ mod tests {
                     s.spawn(move || usize::from(arr.store_max(2, 40).is_some()))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
         });
         assert_eq!(winners, 1);
         assert_eq!(arr.load(2), 40);

@@ -100,7 +100,11 @@ impl BitArray {
     #[inline]
     pub fn set_many(&mut self, slots: &[usize], fresh: &mut [bool]) {
         assert_eq!(slots.len(), fresh.len(), "freshness buffer length mismatch");
-        assert!(slots.iter().all(|&s| s < self.len), "slot out of range {}", self.len);
+        assert!(
+            slots.iter().all(|&s| s < self.len),
+            "slot out of range {}",
+            self.len
+        );
         let mut flipped = 0usize;
         for (f, &slot) in fresh.iter_mut().zip(slots) {
             let word = &mut self.words[slot >> 6];
@@ -121,7 +125,11 @@ impl BitArray {
     #[inline]
     pub fn test_many(&self, slots: &[usize], out: &mut [bool]) {
         assert_eq!(slots.len(), out.len(), "output buffer length mismatch");
-        assert!(slots.iter().all(|&s| s < self.len), "slot out of range {}", self.len);
+        assert!(
+            slots.iter().all(|&s| s < self.len),
+            "slot out of range {}",
+            self.len
+        );
         for (o, &slot) in out.iter_mut().zip(slots) {
             *o = (self.words[slot >> 6] >> (slot & 63)) & 1 == 1;
         }
@@ -176,7 +184,9 @@ impl BitArray {
         self.words.iter().enumerate().flat_map(move |(wi, &w)| {
             let base = wi << 6;
             let len = self.len;
-            BitIter { word: w }.map(move |b| base + b).filter(move |&i| i < len)
+            BitIter { word: w }
+                .map(move |b| base + b)
+                .filter(move |&i| i < len)
         })
     }
 
@@ -324,7 +334,10 @@ mod tests {
 
         let mut scalar = BitArray::new(200);
         let expected: Vec<bool> = slots.iter().map(|&s| scalar.set(s)).collect();
-        assert_eq!(fresh, expected, "duplicate slots: first occurrence is fresh");
+        assert_eq!(
+            fresh, expected,
+            "duplicate slots: first occurrence is fresh"
+        );
         assert_eq!(batch, scalar);
         assert_eq!(batch.zeros(), batch.recount_zeros());
     }

@@ -13,6 +13,10 @@
 //! [`AtomicBitArray`] and [`AtomicPackedArray`] are the lock-free variants
 //! used by the concurrent extensions in `freesketch::concurrent`.
 //!
+//! The [`SlotStore`] / [`ConcurrentSlotStore`] traits make the four arrays
+//! interchangeable behind one slot-update API — the storage seam the
+//! generic `freesketch` estimator core is built on.
+//!
 //! ```
 //! use bitpack::{BitArray, PackedArray};
 //!
@@ -34,8 +38,10 @@ mod atomic;
 mod atomic_packed;
 mod bitarray;
 mod packed;
+mod slotstore;
 
 pub use atomic::AtomicBitArray;
 pub use atomic_packed::AtomicPackedArray;
 pub use bitarray::BitArray;
 pub use packed::PackedArray;
+pub use slotstore::{ConcurrentSlotStore, SlotStore};

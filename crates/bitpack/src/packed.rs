@@ -302,7 +302,7 @@ mod tests {
         p.store(0, 1); // 1/2
         p.store(1, 2); // 1/4
         p.store(2, 3); // 1/8
-        // register 3 stays 0 -> 1
+                       // register 3 stays 0 -> 1
         assert!((p.sum_pow2_neg() - (0.5 + 0.25 + 0.125 + 1.0)).abs() < 1e-12);
     }
 

@@ -28,7 +28,10 @@ impl std::fmt::Display for GeometryError {
                 write!(f, "sketch size {requested} exceeds supported maximum {max}")
             }
             Self::BadPrecision { requested } => {
-                write!(f, "HLL++ precision {requested} outside supported range 4..=18")
+                write!(
+                    f,
+                    "HLL++ precision {requested} outside supported range 4..=18"
+                )
             }
         }
     }
@@ -42,10 +45,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(GeometryError::EmptySketch.to_string().contains("at least one"));
-        assert!(GeometryError::TooLarge { requested: 10, max: 5 }
+        assert!(GeometryError::EmptySketch
             .to_string()
-            .contains("10"));
+            .contains("at least one"));
+        assert!(GeometryError::TooLarge {
+            requested: 10,
+            max: 5
+        }
+        .to_string()
+        .contains("10"));
         assert!(GeometryError::BadPrecision { requested: 3 }
             .to_string()
             .contains("4..=18"));

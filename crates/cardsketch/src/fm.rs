@@ -54,8 +54,15 @@ impl FmSketch {
     /// # Panics
     /// Panics if geometries differ.
     pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.hasher, other.hasher, "FM merge requires identical seeds");
-        assert_eq!(self.bitmaps.len(), other.bitmaps.len(), "FM merge requires equal m");
+        assert_eq!(
+            self.hasher, other.hasher,
+            "FM merge requires identical seeds"
+        );
+        assert_eq!(
+            self.bitmaps.len(),
+            other.bitmaps.len(),
+            "FM merge requires equal m"
+        );
         for (a, b) in self.bitmaps.iter_mut().zip(&other.bitmaps) {
             *a |= *b;
         }

@@ -128,7 +128,10 @@ impl HyperLogLog {
     /// # Panics
     /// Panics if seeds or geometry differ.
     pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.hasher, other.hasher, "HLL merge requires identical seeds");
+        assert_eq!(
+            self.hasher, other.hasher,
+            "HLL merge requires identical seeds"
+        );
         self.registers.merge_max(&other.registers);
     }
 }
@@ -166,9 +169,21 @@ mod tests {
     #[test]
     fn alpha_matches_published_constants() {
         // §III-A2 quotes these to three decimals.
-        assert!((alpha_m(16) - 0.673).abs() < 5e-4, "alpha_16 = {}", alpha_m(16));
-        assert!((alpha_m(32) - 0.697).abs() < 5e-4, "alpha_32 = {}", alpha_m(32));
-        assert!((alpha_m(64) - 0.709).abs() < 5e-4, "alpha_64 = {}", alpha_m(64));
+        assert!(
+            (alpha_m(16) - 0.673).abs() < 5e-4,
+            "alpha_16 = {}",
+            alpha_m(16)
+        );
+        assert!(
+            (alpha_m(32) - 0.697).abs() < 5e-4,
+            "alpha_32 = {}",
+            alpha_m(32)
+        );
+        assert!(
+            (alpha_m(64) - 0.709).abs() < 5e-4,
+            "alpha_64 = {}",
+            alpha_m(64)
+        );
         for m in [128usize, 1024, 16384] {
             let approx = 0.7213 / (1.0 + 1.079 / m as f64);
             assert!(

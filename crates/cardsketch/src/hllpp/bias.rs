@@ -101,7 +101,10 @@ mod tests {
         for p in 4..=14u8 {
             let m = f64::from(1u32 << p);
             let b = estimate_bias(p, 1.5 * m);
-            assert!(b > 0.0, "precision {p}: bias {b} at 1.5m should be positive");
+            assert!(
+                b > 0.0,
+                "precision {p}: bias {b} at 1.5m should be positive"
+            );
         }
     }
 

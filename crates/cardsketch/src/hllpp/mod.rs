@@ -34,8 +34,8 @@ const SPARSE_PRECISION: u8 = 20;
 /// the appendix): below this estimate, linear counting beats the
 /// bias-corrected raw estimator for precision `p = index + 4`.
 const LC_THRESHOLDS: [f64; 15] = [
-    10.0, 20.0, 40.0, 80.0, 220.0, 400.0, 900.0, 1800.0, 3100.0, 6500.0, 11500.0, 20000.0,
-    50000.0, 120000.0, 350000.0,
+    10.0, 20.0, 40.0, 80.0, 220.0, 400.0, 900.0, 1800.0, 3100.0, 6500.0, 11500.0, 20000.0, 50000.0,
+    120000.0, 350000.0,
 ];
 
 #[derive(Debug, Clone)]
@@ -67,7 +67,9 @@ impl HyperLogLogPP {
     /// [`GeometryError::BadPrecision`] unless `4 ≤ p ≤ 18`.
     pub fn new(precision: u8, seed: u64) -> Result<Self, GeometryError> {
         if !(4..=18).contains(&precision) {
-            return Err(GeometryError::BadPrecision { requested: precision });
+            return Err(GeometryError::BadPrecision {
+                requested: precision,
+            });
         }
         Ok(Self {
             precision,
@@ -146,8 +148,14 @@ impl HyperLogLogPP {
     /// # Panics
     /// Panics if seeds or precisions differ.
     pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.hasher, other.hasher, "HLL++ merge requires identical seeds");
-        assert_eq!(self.precision, other.precision, "HLL++ merge requires equal precision");
+        assert_eq!(
+            self.hasher, other.hasher,
+            "HLL++ merge requires identical seeds"
+        );
+        assert_eq!(
+            self.precision, other.precision,
+            "HLL++ merge requires equal precision"
+        );
         match (&mut self.repr, &other.repr) {
             (Repr::Sparse(a), Repr::Sparse(b)) => {
                 for (&idx, &rank) in b {

@@ -64,7 +64,10 @@ impl LogLog {
     /// # Panics
     /// Panics if seeds or geometry differ.
     pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.hasher, other.hasher, "LogLog merge requires identical seeds");
+        assert_eq!(
+            self.hasher, other.hasher,
+            "LogLog merge requires identical seeds"
+        );
         self.registers.merge_max(&other.registers);
     }
 }

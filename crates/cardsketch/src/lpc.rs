@@ -188,7 +188,10 @@ mod tests {
 
     #[test]
     fn zero_m_rejected() {
-        assert_eq!(LinearCounting::new(0, 0).unwrap_err(), GeometryError::EmptySketch);
+        assert_eq!(
+            LinearCounting::new(0, 0).unwrap_err(),
+            GeometryError::EmptySketch
+        );
     }
 
     #[test]

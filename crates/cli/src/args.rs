@@ -37,6 +37,10 @@ pub struct Cli {
     /// Ingest batch size: edges handed to `process_batch` per call.
     /// `0` forces the scalar per-edge path.
     pub batch: usize,
+    /// Parallel ingest threads. `1` (default) runs the exclusive scalar
+    /// estimators; `> 1` switches to the sharded concurrent estimators
+    /// with one ingest thread per chunk of the stream.
+    pub threads: usize,
 }
 
 /// The CLI subcommands.
@@ -103,11 +107,17 @@ pub enum ParseError {
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::MissingCommand => write!(f, "missing subcommand (estimate|spreaders|synth|track)"),
+            Self::MissingCommand => {
+                write!(f, "missing subcommand (estimate|spreaders|synth|track)")
+            }
             Self::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
             Self::MissingArg(a) => write!(f, "missing required argument <{a}>"),
             Self::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
-            Self::BadValue { flag, value, expected } => {
+            Self::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "bad value `{value}` for {flag} (expected {expected})")
             }
             Self::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
@@ -133,6 +143,8 @@ COMMON FLAGS:
   --seed N                 hash seed (default 42)
   --batch N                ingest batch size in edges; 0 = scalar per-edge
                            path (default 8192)
+  --threads N              parallel ingest threads; >1 uses the sharded
+                           concurrent estimator (default 1)
 
 Edge files: one `user item` pair per line, `#` comments ignored.";
 
@@ -147,6 +159,7 @@ impl Cli {
         let mut memory_bits = 1usize << 23;
         let mut seed = 42u64;
         let mut batch = 8192usize;
+        let mut threads = 1usize;
         let mut top = 10usize;
         let mut delta: Option<f64> = None;
         let mut scale: Option<u64> = None;
@@ -164,6 +177,16 @@ impl Cli {
                 }
                 "--seed" => seed = parse_num(value(args, &mut i, "--seed")?, "--seed")?,
                 "--batch" => batch = parse_num(value(args, &mut i, "--batch")?, "--batch")?,
+                "--threads" => {
+                    threads = parse_num(value(args, &mut i, "--threads")?, "--threads")?;
+                    if threads == 0 {
+                        return Err(ParseError::BadValue {
+                            flag: "--threads",
+                            value: "0".to_string(),
+                            expected: "a positive integer",
+                        });
+                    }
+                }
                 "--top" => top = parse_num(value(args, &mut i, "--top")?, "--top")?,
                 "--delta" => {
                     let v = value(args, &mut i, "--delta")?;
@@ -190,27 +213,46 @@ impl Cli {
         let mut pos = pos.into_iter();
         let command = match pos.next().ok_or(ParseError::MissingCommand)? {
             "estimate" => Command::Estimate {
-                path: pos.next().ok_or(ParseError::MissingArg("edges.tsv"))?.to_string(),
+                path: pos
+                    .next()
+                    .ok_or(ParseError::MissingArg("edges.tsv"))?
+                    .to_string(),
                 top,
             },
             "spreaders" => Command::Spreaders {
-                path: pos.next().ok_or(ParseError::MissingArg("edges.tsv"))?.to_string(),
+                path: pos
+                    .next()
+                    .ok_or(ParseError::MissingArg("edges.tsv"))?
+                    .to_string(),
                 delta: delta.ok_or(ParseError::MissingValue("--delta"))?,
             },
             "synth" => Command::Synth {
-                profile: pos.next().ok_or(ParseError::MissingArg("profile"))?.to_string(),
+                profile: pos
+                    .next()
+                    .ok_or(ParseError::MissingArg("profile"))?
+                    .to_string(),
                 scale,
                 out,
             },
             "track" => Command::Track {
-                path: pos.next().ok_or(ParseError::MissingArg("edges.tsv"))?.to_string(),
+                path: pos
+                    .next()
+                    .ok_or(ParseError::MissingArg("edges.tsv"))?
+                    .to_string(),
                 user: user.ok_or(ParseError::MissingValue("--user"))?,
                 checkpoints,
             },
             other => return Err(ParseError::UnknownCommand(other.to_string())),
         };
 
-        Ok(Self { command, method, memory_bits, seed, batch })
+        Ok(Self {
+            command,
+            method,
+            memory_bits,
+            seed,
+            batch,
+            threads,
+        })
     }
 }
 
@@ -220,7 +262,9 @@ fn value<'a, S: AsRef<str>>(
     flag: &'static str,
 ) -> Result<&'a str, ParseError> {
     *i += 1;
-    args.get(*i).map(AsRef::as_ref).ok_or(ParseError::MissingValue(flag))
+    args.get(*i)
+        .map(AsRef::as_ref)
+        .ok_or(ParseError::MissingValue(flag))
 }
 
 fn parse_num<T: std::str::FromStr>(v: &str, flag: &'static str) -> Result<T, ParseError> {
@@ -243,12 +287,30 @@ mod tests {
         let cli = Cli::parse(&["estimate", "edges.tsv"]).expect("parse");
         assert_eq!(
             cli.command,
-            Command::Estimate { path: "edges.tsv".into(), top: 10 }
+            Command::Estimate {
+                path: "edges.tsv".into(),
+                top: 10
+            }
         );
         assert_eq!(cli.method, Method::FreeBS);
         assert_eq!(cli.memory_bits, 1 << 23);
         assert_eq!(cli.seed, 42);
         assert_eq!(cli.batch, 8192);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        let cli = Cli::parse(&["estimate", "x.tsv"]).expect("parse");
+        assert_eq!(cli.threads, 1);
+        let cli = Cli::parse(&["estimate", "x.tsv", "--threads", "4"]).expect("parse");
+        assert_eq!(cli.threads, 4);
+        assert!(matches!(
+            Cli::parse(&["estimate", "x.tsv", "--threads", "0"]).unwrap_err(),
+            ParseError::BadValue {
+                flag: "--threads",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -259,15 +321,26 @@ mod tests {
         assert_eq!(cli.batch, 0);
         assert!(matches!(
             Cli::parse(&["estimate", "x.tsv", "--batch", "many"]).unwrap_err(),
-            ParseError::BadValue { flag: "--batch", .. }
+            ParseError::BadValue {
+                flag: "--batch",
+                ..
+            }
         ));
     }
 
     #[test]
     fn all_flags_parse() {
         let cli = Cli::parse(&[
-            "spreaders", "x.tsv", "--delta", "0.001", "--method", "freers", "--memory",
-            "65536", "--seed", "7",
+            "spreaders",
+            "x.tsv",
+            "--delta",
+            "0.001",
+            "--method",
+            "freers",
+            "--memory",
+            "65536",
+            "--seed",
+            "7",
         ])
         .expect("parse");
         assert_eq!(cli.method, Method::FreeRS);
@@ -275,17 +348,24 @@ mod tests {
         assert_eq!(cli.seed, 7);
         assert_eq!(
             cli.command,
-            Command::Spreaders { path: "x.tsv".into(), delta: 0.001 }
+            Command::Spreaders {
+                path: "x.tsv".into(),
+                delta: 0.001
+            }
         );
     }
 
     #[test]
     fn synth_with_options() {
-        let cli = Cli::parse(&["synth", "orkut", "--scale", "500", "--out", "o.tsv"])
-            .expect("parse");
+        let cli =
+            Cli::parse(&["synth", "orkut", "--scale", "500", "--out", "o.tsv"]).expect("parse");
         assert_eq!(
             cli.command,
-            Command::Synth { profile: "orkut".into(), scale: Some(500), out: "o.tsv".into() }
+            Command::Synth {
+                profile: "orkut".into(),
+                scale: Some(500),
+                out: "o.tsv".into()
+            }
         );
     }
 
@@ -298,13 +378,20 @@ mod tests {
         let cli = Cli::parse(&["track", "x.tsv", "--user", "10.0.0.1"]).expect("parse");
         assert_eq!(
             cli.command,
-            Command::Track { path: "x.tsv".into(), user: "10.0.0.1".into(), checkpoints: 10 }
+            Command::Track {
+                path: "x.tsv".into(),
+                user: "10.0.0.1".into(),
+                checkpoints: 10
+            }
         );
     }
 
     #[test]
     fn error_variants() {
-        assert_eq!(Cli::parse::<&str>(&[]).unwrap_err(), ParseError::MissingCommand);
+        assert_eq!(
+            Cli::parse::<&str>(&[]).unwrap_err(),
+            ParseError::MissingCommand
+        );
         assert_eq!(
             Cli::parse(&["frobnicate"]).unwrap_err(),
             ParseError::UnknownCommand("frobnicate".into())
@@ -319,7 +406,10 @@ mod tests {
         );
         assert!(matches!(
             Cli::parse(&["estimate", "x", "--memory", "lots"]).unwrap_err(),
-            ParseError::BadValue { flag: "--memory", .. }
+            ParseError::BadValue {
+                flag: "--memory",
+                ..
+            }
         ));
         assert_eq!(
             Cli::parse(&["estimate", "x", "--frob"]).unwrap_err(),
@@ -335,8 +425,14 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = ParseError::BadValue { flag: "--delta", value: "2".into(), expected: "a float in (0,1)" };
+        let e = ParseError::BadValue {
+            flag: "--delta",
+            value: "2".into(),
+            expected: "a float in (0,1)",
+        };
         assert!(e.to_string().contains("--delta"));
-        assert!(ParseError::MissingCommand.to_string().contains("subcommand"));
+        assert!(ParseError::MissingCommand
+            .to_string()
+            .contains("subcommand"));
     }
 }

@@ -138,6 +138,8 @@ mod tests {
     #[test]
     fn empty_input_is_empty_stream() {
         assert!(read_edges("".as_bytes()).expect("parse").is_empty());
-        assert!(read_edges("# only comments\n".as_bytes()).expect("parse").is_empty());
+        assert!(read_edges("# only comments\n".as_bytes())
+            .expect("parse")
+            .is_empty());
     }
 }

@@ -1,31 +1,378 @@
-//! Lock-free concurrent FreeBS — the "SDN routers / line-rate monitoring"
-//! extension the paper's conclusion points at.
+//! Lock-free concurrent estimators — the "SDN routers / line-rate
+//! monitoring" extension the paper's conclusion points at.
 //!
-//! FreeBS is uniquely suited to concurrency: its only shared mutable state
-//! is a bit array (idempotent `fetch_or` updates) and the zero count
-//! (relaxed counter). The per-user counters are sharded behind
-//! `parking_lot` mutexes. During a concurrent burst a writer may read a `q`
-//! that lags other writers' flips by a few bits; the resulting perturbation
-//! is bounded by `k/M` for `k` in-flight updates, and the test below bounds
-//! the end-to-end skew against the sequential estimator empirically.
+//! [`ConcurrentEngine`] is the shared-access (`&self`) analogue of the
+//! scalar [`crate::engine::SketchEngine`]: the same hash → slot → HT-credit
+//! pipeline, written once over [`bitpack::ConcurrentSlotStore`] (atomic
+//! monotone slot updates) and [`SharedQTracker`] (atomic `q` bookkeeping),
+//! with per-user counters in a mutex-sharded
+//! [`hashkit::ShardedCounterMap`]. [`ConcurrentFreeBS`] and
+//! [`ConcurrentFreeRS`] are its two instantiations.
+//!
+//! Concurrency semantics: slot updates are idempotent monotone atomics
+//! (exactly one winner per change), so dedup holds under any interleaving.
+//! A writer may read a `q` that lags other writers' in-flight changes by a
+//! few slots; the perturbation is bounded by `k/M` for `k` in-flight
+//! updates, and the tests below bound the end-to-end estimate skew against
+//! the sequential estimators empirically. `Z` (register sharing) is
+//! CAS-accumulated with each winner's exact delta, so it is exact once
+//! writers quiesce.
 
-use bitpack::AtomicBitArray;
-use hashkit::{EdgeHasher, FxHashMap};
-use parking_lot::Mutex;
-
-/// Number of counter shards; a power of two so user ids map by mask.
-const SHARDS: usize = 64;
+use crate::engine::pow2_neg;
+use crate::CardinalityEstimator;
+use bitpack::{AtomicBitArray, AtomicPackedArray, ConcurrentSlotStore};
+use hashkit::{geometric_rank, reduce64, splitmix64, EdgeHasher, FxHashMap, ShardedCounterMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Batch-ingest block size (matches the sequential estimators' block depth).
 const BLOCK: usize = crate::INGEST_BLOCK;
 
-/// A thread-safe FreeBS estimator: `&self` processing from many threads.
-#[derive(Debug)]
-pub struct ConcurrentFreeBS {
-    bits: AtomicBitArray,
-    hasher: EdgeHasher,
-    shards: Vec<Mutex<FxHashMap<u64, f64>>>,
+/// Shared ingest: a cardinality estimator whose update path takes `&self`,
+/// so many threads can feed one instance (or a [`crate::Windowed`] of
+/// them) concurrently. Queries come from the [`CardinalityEstimator`]
+/// supertrait — those are `&self` already.
+pub trait ConcurrentEstimator: CardinalityEstimator + Send + Sync {
+    /// Observes edge `(user, item)`; callable concurrently.
+    fn ingest(&self, user: u64, item: u64);
+
+    /// Observes a slice of edges — the batched fast path; callable
+    /// concurrently. Same contract as
+    /// [`CardinalityEstimator::process_batch`].
+    fn ingest_batch(&self, edges: &[(u64, u64)]) {
+        for &(user, item) in edges {
+            self.ingest(user, item);
+        }
+    }
 }
+
+/// The `q(t)` bookkeeping seam of the [`ConcurrentEngine`] — the shared
+/// (`&self`) counterpart of [`crate::engine::QTracker`].
+///
+/// Growth accounting is split into a per-thread fold
+/// ([`SharedQTracker::fold_growth`], plain arithmetic on a local
+/// accumulator) and one [`SharedQTracker::commit`] per edge or block, so a
+/// block's worth of register deltas costs a single CAS.
+pub trait SharedQTracker<S: ConcurrentSlotStore>: Send + Sync {
+    /// Name of the plain concurrent estimator this tracker realizes.
+    const CONCURRENT_NAME: &'static str;
+    /// Name of the sharded variant (see [`crate::ShardedSketch`]).
+    const SHARDED_NAME: &'static str;
+
+    /// Tracker for a fresh (all-zero) store.
+    fn fresh(store: &S) -> Self;
+
+    /// The numerator of `q(t)`, read before an update and guarded away
+    /// from zero (stale reads under contention may otherwise divide by 0).
+    fn numerator(&self, store: &S) -> f64;
+
+    /// Folds one slot growth `old → new` into a thread-local accumulator.
+    fn fold_growth(acc: &mut f64, old: u16, new: u16);
+
+    /// Publishes a folded accumulator (no-op when the store maintains the
+    /// numerator itself).
+    fn commit(&self, acc: f64);
+}
+
+/// `q_B = m₀/M` for atomic bit stores: the array maintains `m₀` with a
+/// relaxed counter, so the tracker is stateless.
+#[derive(Debug, Default)]
+pub struct SharedZeroQ;
+
+impl<S: ConcurrentSlotStore> SharedQTracker<S> for SharedZeroQ {
+    const CONCURRENT_NAME: &'static str = "ConcurrentFreeBS";
+    const SHARDED_NAME: &'static str = "ShardedFreeBS";
+
+    #[inline]
+    fn fresh(_store: &S) -> Self {
+        Self
+    }
+
+    #[inline]
+    fn numerator(&self, store: &S) -> f64 {
+        // Read just before the update; under contention it can lag by the
+        // number of in-flight flips, perturbing q by ≤ k/M.
+        store.zero_slots().max(1) as f64
+    }
+
+    #[inline]
+    fn fold_growth(_acc: &mut f64, _old: u16, _new: u16) {}
+
+    #[inline]
+    fn commit(&self, _acc: f64) {}
+}
+
+/// `q_R = Z/M` for atomic register stores: `Z = Σ 2^{-R[j]}` stored as
+/// f64 bits in an atomic, CAS-added with each winner's exact delta.
+#[derive(Debug)]
+pub struct SharedZ {
+    /// `Z`, stored as f64 bits.
+    z_bits: AtomicU64,
+}
+
+impl SharedZ {
+    /// CAS-add `delta` onto the f64-encoded Z.
+    #[inline]
+    fn add(&self, delta: f64) {
+        let mut current = self.z_bits.load(Ordering::Relaxed);
+        loop {
+            let updated = (f64::from_bits(current) + delta).to_bits();
+            match self.z_bits.compare_exchange_weak(
+                current,
+                updated,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl<S: ConcurrentSlotStore> SharedQTracker<S> for SharedZ {
+    const CONCURRENT_NAME: &'static str = "ConcurrentFreeRS";
+    const SHARDED_NAME: &'static str = "ShardedFreeRS";
+
+    #[inline]
+    fn fresh(store: &S) -> Self {
+        Self {
+            z_bits: AtomicU64::new((store.len() as f64).to_bits()),
+        }
+    }
+
+    #[inline]
+    fn numerator(&self, _store: &S) -> f64 {
+        f64::from_bits(self.z_bits.load(Ordering::Relaxed)).max(f64::MIN_POSITIVE)
+    }
+
+    #[inline]
+    fn fold_growth(acc: &mut f64, old: u16, new: u16) {
+        *acc += pow2_neg(new) - pow2_neg(old);
+    }
+
+    #[inline]
+    fn commit(&self, acc: f64) {
+        if acc != 0.0 {
+            // Each winner's deltas are applied exactly once, so Z is exact
+            // at quiescence.
+            self.add(acc);
+        }
+    }
+}
+
+/// A thread-safe sharing estimator: `&self` processing from many threads.
+/// One shared atomic [`ConcurrentSlotStore`], per-user counters in a
+/// mutex-sharded [`ShardedCounterMap`], `q` maintained by a
+/// [`SharedQTracker`].
+#[derive(Debug)]
+pub struct ConcurrentEngine<S, Q> {
+    store: S,
+    hasher: EdgeHasher,
+    q: Q,
+    counters: ShardedCounterMap,
+}
+
+impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEngine<S, Q> {
+    /// Builds an engine over a fresh (all-zero) `store`.
+    #[must_use]
+    pub fn from_store(store: S, seed: u64) -> Self {
+        let q = Q::fresh(&store);
+        Self {
+            store,
+            hasher: EdgeHasher::new(seed),
+            q,
+            counters: ShardedCounterMap::default(),
+        }
+    }
+
+    /// The shared array size `M`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The current sampling probability `q(t)`.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.q.numerator(&self.store) / self.store.len() as f64
+    }
+
+    /// Read-only view of the shared store (for tests and diagnostics).
+    #[must_use]
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The update value an edge hash carries: a saturated geometric rank
+    /// for register stores, ignored (1) for bit stores.
+    #[inline]
+    fn value_of(&self, h: u64) -> u16 {
+        if S::RANKED {
+            u16::from(geometric_rank(splitmix64(h)).saturated(self.store.width()))
+        } else {
+            1
+        }
+    }
+
+    /// Observes edge `(user, item)`; callable concurrently.
+    #[inline]
+    pub fn process(&self, user: u64, item: u64) {
+        let h = self.hasher.hash_edge(user, item);
+        let slot = reduce64(h, self.store.len());
+        let value = self.value_of(h);
+        let qn = self.q.numerator(&self.store);
+        if let Some(old) = self.store.try_update(slot, value) {
+            let inc = self.store.len() as f64 / qn;
+            self.counters.add(user, inc);
+            let mut acc = 0.0;
+            Q::fold_growth(&mut acc, old, value);
+            self.q.commit(acc);
+        }
+        // Non-changing edges are discarded for free, matching the scalar
+        // engine's Algorithm 1/2 semantics.
+    }
+
+    /// Observes a slice of edges — the batched fast path; callable
+    /// concurrently. Each internal block of [`BLOCK`] edges is hashed in
+    /// one pass, its array words are warmed (load-only prefetch pass)
+    /// before the update loop, `q` is frozen at its block-start value,
+    /// counter-shard lock acquisitions are coalesced over runs of
+    /// consecutive same-user edges, and the block's `q` deltas are
+    /// committed with one CAS. The extra `q` staleness this adds is at
+    /// most `BLOCK/M` relative — the same order as the concurrency skew
+    /// already tolerated.
+    pub fn process_batch(&self, edges: &[(u64, u64)]) {
+        let m = self.store.len();
+        let mut hashes = [0u64; BLOCK];
+        for chunk in edges.chunks(BLOCK) {
+            let k = chunk.len();
+            self.hasher.hash_many(chunk, &mut hashes[..k]);
+            let mut acc = 0u64;
+            for &h in &hashes[..k] {
+                acc ^= self.store.warm(reduce64(h, m));
+            }
+            std::hint::black_box(acc);
+            let inc = m as f64 / self.q.numerator(&self.store);
+            let mut run_user = chunk[0].0;
+            let mut run_growths = 0u32;
+            let mut q_acc = 0.0f64;
+            for (&(user, _), &h) in chunk.iter().zip(&hashes[..k]) {
+                if user != run_user {
+                    if run_growths > 0 {
+                        self.counters.add(run_user, inc * f64::from(run_growths));
+                    }
+                    run_user = user;
+                    run_growths = 0;
+                }
+                let slot = reduce64(h, m);
+                let value = self.value_of(h);
+                if let Some(old) = self.store.try_update(slot, value) {
+                    run_growths += 1;
+                    Q::fold_growth(&mut q_acc, old, value);
+                }
+            }
+            if run_growths > 0 {
+                self.counters.add(run_user, inc * f64::from(run_growths));
+            }
+            self.q.commit(q_acc);
+        }
+    }
+
+    /// The current estimate for `user`.
+    #[must_use]
+    pub fn estimate(&self, user: u64) -> f64 {
+        self.counters.get(user).unwrap_or(0.0)
+    }
+
+    /// Sum of all user estimates (`n̂(t)`).
+    #[must_use]
+    pub fn total_estimate(&self) -> f64 {
+        self.counters.values_sum()
+    }
+
+    /// Number of distinct users tracked.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Shared-array memory in bits.
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.store.memory_bits()
+    }
+
+    /// Collapses into a sequential snapshot of `(user, estimate)` pairs.
+    #[must_use]
+    pub fn snapshot_estimates(&self) -> FxHashMap<u64, f64> {
+        let mut out = FxHashMap::default();
+        self.counters.for_each(&mut |u, e| {
+            out.insert(u, e);
+        });
+        out
+    }
+
+    /// Verifies the maintained `q` numerator against an exact store scan
+    /// (quiescent state only); returns the absolute discrepancy. For bit
+    /// stores this checks the relaxed zero counter against a popcount
+    /// recount, for register stores the CAS-maintained `Z` against
+    /// `Σ 2^{-R[j]}`.
+    #[must_use]
+    pub fn q_discrepancy(&self) -> f64 {
+        let exact = if S::RANKED {
+            self.store.sum_pow2_neg()
+        } else {
+            self.store.recount_zero_slots().max(1) as f64
+        };
+        (self.q.numerator(&self.store) - exact).abs()
+    }
+}
+
+impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> CardinalityEstimator for ConcurrentEngine<S, Q> {
+    #[inline]
+    fn process(&mut self, user: u64, item: u64) {
+        ConcurrentEngine::process(self, user, item);
+    }
+
+    fn process_batch(&mut self, edges: &[(u64, u64)]) {
+        ConcurrentEngine::process_batch(self, edges);
+    }
+
+    #[inline]
+    fn estimate(&self, user: u64) -> f64 {
+        ConcurrentEngine::estimate(self, user)
+    }
+
+    fn total_estimate(&self) -> f64 {
+        ConcurrentEngine::total_estimate(self)
+    }
+
+    fn memory_bits(&self) -> usize {
+        ConcurrentEngine::memory_bits(self)
+    }
+
+    fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
+        self.counters.for_each(f);
+    }
+
+    fn name(&self) -> &'static str {
+        Q::CONCURRENT_NAME
+    }
+}
+
+impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEstimator for ConcurrentEngine<S, Q> {
+    #[inline]
+    fn ingest(&self, user: u64, item: u64) {
+        ConcurrentEngine::process(self, user, item);
+    }
+
+    fn ingest_batch(&self, edges: &[(u64, u64)]) {
+        ConcurrentEngine::process_batch(self, edges);
+    }
+}
+
+/// A thread-safe FreeBS estimator: `&self` processing from many threads.
+pub type ConcurrentFreeBS = ConcurrentEngine<AtomicBitArray, SharedZeroQ>;
 
 impl ConcurrentFreeBS {
     /// Creates a concurrent FreeBS over `m_bits` shared bits.
@@ -34,118 +381,31 @@ impl ConcurrentFreeBS {
     /// Panics if `m_bits == 0`.
     #[must_use]
     pub fn new(m_bits: usize, seed: u64) -> Self {
-        let mut shards = Vec::with_capacity(SHARDS);
-        shards.resize_with(SHARDS, || Mutex::new(FxHashMap::default()));
-        Self {
-            bits: AtomicBitArray::new(m_bits),
-            hasher: EdgeHasher::new(seed),
-            shards,
-        }
+        Self::from_store(AtomicBitArray::new(m_bits), seed)
     }
+}
 
-    #[inline]
-    fn shard(&self, user: u64) -> &Mutex<FxHashMap<u64, f64>> {
-        // Mix before masking: sequential user ids would otherwise pile into
-        // consecutive shards and contend in bursts.
-        let h = hashkit::splitmix64(user);
-        &self.shards[(h as usize) & (SHARDS - 1)]
-    }
+/// A thread-safe FreeRS estimator: `&self` processing from many threads.
+pub type ConcurrentFreeRS = ConcurrentEngine<AtomicPackedArray, SharedZ>;
 
-    /// Observes edge `(user, item)`; callable concurrently.
-    #[inline]
-    pub fn process(&self, user: u64, item: u64) {
-        let slot = self.hasher.slot(user, item, self.bits.len());
-        let m0 = self.bits.zeros();
-        if self.bits.set(slot) {
-            // m0 read just before the flip; under contention it can lag by
-            // the number of in-flight updates, perturbing q by ≤ k/M.
-            let inc = self.bits.len() as f64 / m0.max(1) as f64;
-            *self.shard(user).lock().entry(user).or_insert(0.0) += inc;
-        }
-        // Duplicates are discarded for free, matching the sequential
-        // estimator's Algorithm 1 semantics.
-    }
-
-    /// Observes a slice of edges — the batched fast path; callable
-    /// concurrently. Each internal block of [`BLOCK`] edges is hashed in one
-    /// pass, its bit words are warmed (load-only prefetch pass) before the
-    /// update loop, `q_B` is frozen at the block-start zero count, and
-    /// shard-lock acquisitions are coalesced over runs of consecutive
-    /// same-user edges. The extra `q` staleness this adds is at most
-    /// `BLOCK/M` relative — the same order as the concurrency skew already
-    /// tolerated.
-    pub fn process_batch(&self, edges: &[(u64, u64)]) {
-        let m = self.bits.len();
-        let mut slots = [0usize; BLOCK];
-        for chunk in edges.chunks(BLOCK) {
-            self.hasher.slots_many(chunk, m, &mut slots);
-            let mut acc = 0u64;
-            for &s in &slots[..chunk.len()] {
-                acc ^= self.bits.warm(s);
-            }
-            std::hint::black_box(acc);
-            let m0 = self.bits.zeros();
-            if m0 == 0 {
-                continue;
-            }
-            let inc = m as f64 / m0 as f64;
-            let mut run_user = chunk[0].0;
-            let mut run_fresh = 0u32;
-            for (&(user, _), &slot) in chunk.iter().zip(&slots) {
-                if user != run_user {
-                    if run_fresh > 0 {
-                        *self.shard(run_user).lock().entry(run_user).or_insert(0.0) +=
-                            inc * f64::from(run_fresh);
-                    }
-                    run_user = user;
-                    run_fresh = 0;
-                }
-                run_fresh += u32::from(self.bits.set(slot));
-            }
-            if run_fresh > 0 {
-                *self.shard(run_user).lock().entry(run_user).or_insert(0.0) +=
-                    inc * f64::from(run_fresh);
-            }
-        }
-    }
-
-    /// The current estimate for `user`.
+impl ConcurrentFreeRS {
+    /// Creates a concurrent FreeRS over `m_registers` five-bit registers.
+    ///
+    /// # Panics
+    /// Panics if `m_registers == 0`.
     #[must_use]
-    pub fn estimate(&self, user: u64) -> f64 {
-        self.shard(user).lock().get(&user).copied().unwrap_or(0.0)
+    pub fn new(m_registers: usize, seed: u64) -> Self {
+        Self::from_store(
+            AtomicPackedArray::new(m_registers, crate::FreeRS::DEFAULT_WIDTH),
+            seed,
+        )
     }
 
-    /// Sum of all user estimates (`n̂(t)`).
+    /// Verifies the incrementally maintained `Z` against an exact register
+    /// scan (quiescent state only); returns the absolute discrepancy.
     #[must_use]
-    pub fn total_estimate(&self) -> f64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().values().sum::<f64>())
-            .sum()
-    }
-
-    /// Number of distinct users tracked.
-    #[must_use]
-    pub fn user_count(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
-    }
-
-    /// Shared-array size `M` in bits.
-    #[must_use]
-    pub fn memory_bits(&self) -> usize {
-        self.bits.len()
-    }
-
-    /// Collapses into a sequential snapshot of `(user, estimate)` pairs.
-    #[must_use]
-    pub fn snapshot_estimates(&self) -> FxHashMap<u64, f64> {
-        let mut out = FxHashMap::default();
-        for s in &self.shards {
-            for (&u, &e) in s.lock().iter() {
-                out.insert(u, e);
-            }
-        }
-        out
+    pub fn z_discrepancy(&self) -> f64 {
+        self.q_discrepancy()
     }
 }
 
@@ -251,7 +511,10 @@ mod tests {
         for &(u, d) in &edges {
             scalar.process(u, d);
         }
-        assert_eq!(batch.bits.recount_zeros(), scalar.bits.recount_zeros());
+        assert_eq!(
+            batch.store().recount_zeros(),
+            scalar.store().recount_zeros()
+        );
         for u in 0..17u64 {
             let (b, s) = (batch.estimate(u), scalar.estimate(u));
             assert!(
@@ -271,8 +534,7 @@ mod tests {
                 let conc = Arc::clone(&conc);
                 s.spawn(move || {
                     let user = t as u64;
-                    let edges: Vec<(u64, u64)> =
-                        (0..per_user).map(|d| (user, d)).collect();
+                    let edges: Vec<(u64, u64)> = (0..per_user).map(|d| (user, d)).collect();
                     conc.process_batch(&edges);
                 });
             }
@@ -281,5 +543,160 @@ mod tests {
             let rel = (conc.estimate(u) / per_user as f64 - 1.0).abs();
             assert!(rel < 0.1, "user {u}: relative error {rel}");
         }
+    }
+
+    #[test]
+    fn rs_single_thread_tracks_truth() {
+        let c = ConcurrentFreeRS::new(1 << 14, 7);
+        let n = 20_000u64;
+        for d in 0..n {
+            c.process(1, d);
+        }
+        let rel = (c.estimate(1) / n as f64 - 1.0).abs();
+        assert!(rel < 0.1, "relative error {rel}");
+        assert!(c.z_discrepancy() < 1e-9, "Z drift {}", c.z_discrepancy());
+    }
+
+    #[test]
+    fn rs_concurrent_estimates_close_to_truth() {
+        let c = Arc::new(ConcurrentFreeRS::new(1 << 15, 9));
+        let threads = 8;
+        let per_user = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for d in 0..per_user {
+                        c.process(t as u64, d);
+                    }
+                });
+            }
+        });
+        for u in 0..threads as u64 {
+            let rel = (c.estimate(u) / per_user as f64 - 1.0).abs();
+            assert!(rel < 0.15, "user {u}: relative error {rel}");
+        }
+        // Z must be exact after quiescence: every winner applied its own
+        // delta exactly once.
+        assert!(c.z_discrepancy() < 1e-9, "Z drift {}", c.z_discrepancy());
+    }
+
+    #[test]
+    fn rs_duplicates_across_threads_counted_once() {
+        let c = Arc::new(ConcurrentFreeRS::new(1 << 13, 11));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for d in 0..2_000u64 {
+                        c.process(1, d);
+                    }
+                });
+            }
+        });
+        let est = c.estimate(1);
+        assert!(
+            (est / 2_000.0 - 1.0).abs() < 0.15,
+            "estimate {est} should be ~2000 despite 8x duplication"
+        );
+        assert_eq!(c.user_count(), 1);
+    }
+
+    #[test]
+    fn rs_batch_matches_scalar_registers_single_thread() {
+        let batch = ConcurrentFreeRS::new(1 << 12, 7);
+        let scalar = ConcurrentFreeRS::new(1 << 12, 7);
+        let edges: Vec<(u64, u64)> = (0..8_000u64)
+            .map(|i| (i % 13, hashkit::splitmix64(i) >> 16))
+            .collect();
+        batch.process_batch(&edges);
+        for &(u, d) in &edges {
+            scalar.process(u, d);
+        }
+        assert!(
+            batch.z_discrepancy() < 1e-9,
+            "batch Z drift {}",
+            batch.z_discrepancy()
+        );
+        for u in 0..13u64 {
+            let (b, s) = (batch.estimate(u), scalar.estimate(u));
+            assert!(
+                (b - s).abs() <= s * 0.05 + 1e-9,
+                "user {u}: batch {b} vs scalar {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn rs_batch_concurrent_close_to_truth() {
+        let c = Arc::new(ConcurrentFreeRS::new(1 << 15, 3));
+        let threads = 8;
+        let per_user = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let user = t as u64;
+                    let edges: Vec<(u64, u64)> = (0..per_user).map(|d| (user, d)).collect();
+                    c.process_batch(&edges);
+                });
+            }
+        });
+        for u in 0..threads as u64 {
+            let rel = (c.estimate(u) / per_user as f64 - 1.0).abs();
+            assert!(rel < 0.15, "user {u}: relative error {rel}");
+        }
+        assert!(c.z_discrepancy() < 1e-9, "Z drift {}", c.z_discrepancy());
+    }
+
+    #[test]
+    fn rs_q_starts_at_one() {
+        let c = ConcurrentFreeRS::new(256, 1);
+        assert!((c.q() - 1.0).abs() < 1e-15);
+        c.process(1, 1);
+        assert!(c.q() < 1.0);
+    }
+
+    #[test]
+    fn bit_store_q_discrepancy_checks_counter_against_popcount() {
+        // The maintained relaxed zero counter must agree with a popcount
+        // recount once writers quiesce — including after contended ingest.
+        let c = Arc::new(ConcurrentFreeBS::new(1 << 14, 3));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for d in 0..3_000u64 {
+                        c.process(t, d);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.q_discrepancy(), 0.0, "zero counter drifted from popcount");
+    }
+
+    #[test]
+    fn trait_ingest_paths_match_inherent() {
+        let a = ConcurrentFreeBS::new(1 << 12, 3);
+        let b = ConcurrentFreeBS::new(1 << 12, 3);
+        let edges: Vec<(u64, u64)> = (0..400u64).map(|i| (i % 5, i)).collect();
+        for &(u, d) in &edges {
+            ConcurrentEstimator::ingest(&a, u, d);
+        }
+        b.process_batch(&edges);
+        for u in 0..5u64 {
+            let (x, y) = (a.estimate(u), b.estimate(u));
+            assert!((x - y).abs() <= x * 0.05 + 1e-9, "user {u}: {x} vs {y}");
+        }
+        // And the &mut CardinalityEstimator view drives the same pipeline.
+        let mut c = ConcurrentFreeBS::new(1 << 12, 3);
+        for &(u, d) in &edges {
+            CardinalityEstimator::process(&mut c, u, d);
+        }
+        for u in 0..5u64 {
+            assert_eq!(a.estimate(u), c.estimate(u), "user {u}");
+        }
+        assert_eq!(c.name(), "ConcurrentFreeBS");
+        assert_eq!(ConcurrentFreeRS::new(64, 1).name(), "ConcurrentFreeRS");
     }
 }

@@ -139,7 +139,11 @@ mod tests {
         let ci = c.estimate_with_ci(1, 1.96);
         // Each increment is M/m0 with m0 within 10 of M: estimate within
         // ~1e-4 of exactly 10.
-        assert!((ci.estimate - 10.0).abs() < 1e-3, "estimate {}", ci.estimate);
+        assert!(
+            (ci.estimate - 10.0).abs() < 1e-3,
+            "estimate {}",
+            ci.estimate
+        );
         assert!(ci.upper - ci.lower < 0.1);
     }
 

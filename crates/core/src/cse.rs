@@ -51,7 +51,10 @@ impl Cse {
     /// Panics if `m_bits == 0`, `m == 0`, or `m > m_bits`.
     #[must_use]
     pub fn new(m_bits: usize, m: usize, seed: u64) -> Self {
-        assert!(m > 0 && m <= m_bits, "virtual size m={m} must be in 1..={m_bits}");
+        assert!(
+            m > 0 && m <= m_bits,
+            "virtual size m={m} must be in 1..={m_bits}"
+        );
         Self {
             bits: BitArray::new(m_bits),
             family: HashFamily::new(seed ^ 0xC5E0_0001, m, m_bits),
@@ -69,7 +72,10 @@ impl Cse {
     /// Zero bits in the user's virtual sketch, `Û_s` (an O(m) scan).
     #[must_use]
     pub fn virtual_zeros(&self, user: u64) -> usize {
-        self.family.cells(user).filter(|&c| !self.bits.get(c)).count()
+        self.family
+            .cells(user)
+            .filter(|&c| !self.bits.get(c))
+            .count()
     }
 
     /// Freshly computed estimate for `user` — the O(m) path. The cached
@@ -251,7 +257,11 @@ mod tests {
             }
         }
         let rel = (c.total_estimate() / distinct as f64 - 1.0).abs();
-        assert!(rel < 0.15, "total {} vs distinct {distinct}", c.total_estimate());
+        assert!(
+            rel < 0.15,
+            "total {} vs distinct {distinct}",
+            c.total_estimate()
+        );
     }
 
     #[test]

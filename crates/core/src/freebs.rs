@@ -1,17 +1,12 @@
 //! FreeBS — parameter-free bit sharing (§IV-A, Algorithm 1).
+//!
+//! Since the storage-generic refactor the whole update/estimate/batch
+//! pipeline lives in [`crate::engine::SketchEngine`]; this module pins the
+//! instantiation (bit array storage, exact-zero-count `q` tracking) and
+//! the bit-specific conveniences.
 
-use crate::CardinalityEstimator;
+use crate::engine::{SketchEngine, ZeroQ};
 use bitpack::BitArray;
-use hashkit::{CounterMap, EdgeHasher};
-
-/// Batch-ingest block size — [`crate::INGEST_BLOCK`]. Within one block the
-/// sampling probability `q_B` is frozen at its block-start value, so the
-/// per-edge HT increment drifts from the scalar path by a relative factor
-/// of at most `BLOCK / m₀` — far below the estimator's noise floor for any
-/// practically sized array. 512 is deep enough that each memory phase of
-/// the block pipeline keeps the core's miss buffers full, while the
-/// scratch stays a few KB of stack.
-const BLOCK: usize = crate::INGEST_BLOCK;
 
 /// The FreeBS estimator: one shared bit array `B[1..M]`, one counter per
 /// user.
@@ -26,14 +21,7 @@ const BLOCK: usize = crate::INGEST_BLOCK;
 /// every time, with variance `Σ_{i∈T_s(t)} E[1/q_B(i)] − n_s(t)`; the
 /// estimation range extends to `M ln M` (vs `m ln m` for CSE); and the
 /// per-edge cost is O(1) — `m₀` is maintained exactly by the bit array.
-#[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct FreeBS {
-    bits: BitArray,
-    hasher: EdgeHasher,
-    estimates: CounterMap,
-    total: f64,
-}
+pub type FreeBS = SketchEngine<BitArray, ZeroQ>;
 
 impl FreeBS {
     /// Creates a FreeBS estimator over `m_bits` shared bits.
@@ -42,160 +30,36 @@ impl FreeBS {
     /// Panics if `m_bits == 0`.
     #[must_use]
     pub fn new(m_bits: usize, seed: u64) -> Self {
-        Self {
-            bits: BitArray::new(m_bits),
-            hasher: EdgeHasher::new(seed),
-            estimates: CounterMap::new(),
-            total: 0.0,
-        }
-    }
-
-    /// The shared array size `M`.
-    #[must_use]
-    pub fn capacity(&self) -> usize {
-        self.bits.len()
-    }
-
-    /// The current sampling probability `q_B = m₀/M`.
-    #[must_use]
-    pub fn q(&self) -> f64 {
-        self.bits.zero_fraction()
+        Self::from_store(BitArray::new(m_bits), seed)
     }
 
     /// Number of zero bits `m₀`.
     #[must_use]
     pub fn zeros(&self) -> usize {
-        self.bits.zeros()
+        self.bit_array().zeros()
     }
 
     /// The top of the estimation range, `M ln M` (§IV-C): the expected total
     /// cardinality at which the last zero bit disappears.
     #[must_use]
     pub fn max_estimate(&self) -> f64 {
-        let m = self.bits.len() as f64;
+        let m = self.capacity() as f64;
         m * m.ln()
-    }
-
-    /// Number of users currently tracked.
-    #[must_use]
-    pub fn user_count(&self) -> usize {
-        self.estimates.len()
     }
 
     /// Read-only view of the shared bit array (for tests and diagnostics).
     #[must_use]
     pub fn bit_array(&self) -> &BitArray {
-        &self.bits
-    }
-
-    /// Credits `delta` to `user`'s HT counter and the running total.
-    #[inline]
-    fn credit(&mut self, user: u64, delta: f64) {
-        self.estimates.add(user, delta);
-        self.total += delta;
-    }
-}
-
-impl CardinalityEstimator for FreeBS {
-    #[inline]
-    fn process(&mut self, user: u64, item: u64) {
-        let slot = self.hasher.slot(user, item, self.bits.len());
-        if self.bits.set(slot) {
-            // Algorithm 1: the increment uses m₀ *before* this bit flipped —
-            // q_B(t) is defined on the state at t−1 — which after a fresh
-            // set is exactly zeros() + 1.
-            let inc = self.bits.len() as f64 / (self.bits.zeros() + 1) as f64;
-            self.credit(user, inc);
-        }
-        // Duplicate edges (or hash collisions — indistinguishable, and
-        // exactly the event q_B accounts for) are discarded for free, as in
-        // Algorithm 1: no counter write, no map lookup.
-    }
-
-    /// Phased batch ingest. Each block of [`BLOCK`] edges runs five passes,
-    /// each a tight loop over one memory stream so the core's miss buffers
-    /// stay full (the scalar path's hash → bit → counter chain serializes
-    /// two cache misses per edge; here each phase's misses overlap):
-    ///
-    /// 1. **hash** — `slots_many` block hashing, no per-edge branches;
-    /// 2. **warm bits** — load-only pass over the block's bit words, folded
-    ///    into one `black_box`, so the set pass hits L1;
-    /// 3. **set** — `set_many` word-level multi-set, recording freshness;
-    /// 4. **warm counters** — compress the fresh edges' users (branchless)
-    ///    and warm their counter home slots;
-    /// 5. **credit** — one `CounterMap::add` per fresh edge, coalescing
-    ///    runs of consecutive same-user edges, with `q_B` frozen at the
-    ///    block-start `m₀` (see [`CardinalityEstimator::process_batch`] for
-    ///    the drift bound) and the running total updated once per block.
-    fn process_batch(&mut self, edges: &[(u64, u64)]) {
-        let m = self.bits.len();
-        let mut slots = [0usize; BLOCK];
-        let mut fresh = [false; BLOCK];
-        let mut fresh_users = [0u64; BLOCK];
-        for chunk in edges.chunks(BLOCK) {
-            let k = chunk.len();
-            self.hasher.slots_many(chunk, m, &mut slots[..k]);
-            let mut acc = 0u64;
-            for &s in &slots[..k] {
-                acc ^= self.bits.warm(s);
-            }
-            std::hint::black_box(acc);
-            // q_B for the whole block is m₀ *before* any of its sets.
-            let m0 = self.bits.zeros();
-            self.bits.set_many(&slots[..k], &mut fresh[..k]);
-            let mut fcount = 0usize;
-            for (&(user, _), &f) in chunk.iter().zip(&fresh[..k]) {
-                fresh_users[fcount] = user;
-                fcount += usize::from(f);
-            }
-            if fcount == 0 {
-                continue; // no bit flipped (m0 == 0 implies this)
-            }
-            let mut acc = 0u64;
-            for &user in &fresh_users[..fcount] {
-                acc ^= self.estimates.warm(user);
-            }
-            std::hint::black_box(acc);
-            let inc = m as f64 / m0 as f64;
-            let mut i = 0usize;
-            while i < fcount {
-                let user = fresh_users[i];
-                let mut run = 1usize;
-                while i + run < fcount && fresh_users[i + run] == user {
-                    run += 1;
-                }
-                self.estimates.add(user, inc * run as f64);
-                i += run;
-            }
-            self.total += inc * fcount as f64;
-        }
-    }
-
-    #[inline]
-    fn estimate(&self, user: u64) -> f64 {
-        self.estimates.get(user).unwrap_or(0.0)
-    }
-
-    fn total_estimate(&self) -> f64 {
-        self.total
-    }
-
-    fn memory_bits(&self) -> usize {
-        self.bits.len()
-    }
-
-    fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
-        self.estimates.for_each(f);
-    }
-
-    fn name(&self) -> &'static str {
-        "FreeBS"
+        self.store()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CardinalityEstimator;
+
+    const BLOCK: usize = crate::INGEST_BLOCK;
 
     #[test]
     fn unseen_user_estimates_zero() {
@@ -272,8 +136,8 @@ mod tests {
             mean += f.estimate(1);
         }
         mean /= seeds as f64;
-        let var: f64 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-            / (seeds as f64 - 1.0);
+        let var: f64 =
+            estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (seeds as f64 - 1.0);
         let se = (var / seeds as f64).sqrt();
         assert!(
             (mean - n as f64).abs() < 4.0 * se + 1.0,
@@ -304,7 +168,11 @@ mod tests {
         for d in 0..n {
             f.process(1, d);
         }
-        assert!(f.estimate(1) > m as f64, "estimate {} stuck below M", f.estimate(1));
+        assert!(
+            f.estimate(1) > m as f64,
+            "estimate {} stuck below M",
+            f.estimate(1)
+        );
         assert!(f.estimate(1) < f.max_estimate());
     }
 
@@ -332,13 +200,23 @@ mod tests {
             scalar.process(u, d);
         }
         batch.process_batch(&edges);
-        assert_eq!(scalar.bit_array(), batch.bit_array(), "bit arrays must match");
+        assert_eq!(
+            scalar.bit_array(),
+            batch.bit_array(),
+            "bit arrays must match"
+        );
         // Drift bound: BLOCK / final zero count, one-sided (batch <= scalar).
         let tol = BLOCK as f64 / batch.zeros() as f64;
         for u in 0..9u64 {
             let (s, b) = (scalar.estimate(u), batch.estimate(u));
-            assert!(b <= s + 1e-9, "user {u}: batch {b} must not exceed scalar {s}");
-            assert!((s - b) <= s * tol + 1e-9, "user {u}: {s} vs {b} (tol {tol})");
+            assert!(
+                b <= s + 1e-9,
+                "user {u}: batch {b} must not exceed scalar {s}"
+            );
+            assert!(
+                (s - b) <= s * tol + 1e-9,
+                "user {u}: {s} vs {b} (tol {tol})"
+            );
         }
     }
 

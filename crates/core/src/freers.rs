@@ -1,19 +1,12 @@
 //! FreeRS — parameter-free register sharing (§IV-B, Algorithm 2).
+//!
+//! Since the storage-generic refactor the whole update/estimate/batch
+//! pipeline lives in [`crate::engine::SketchEngine`]; this module pins the
+//! instantiation (packed register storage, incremental-`Z` `q` tracking)
+//! and the register-specific conveniences.
 
-use crate::CardinalityEstimator;
+use crate::engine::{IncrementalZ, SketchEngine};
 use bitpack::PackedArray;
-use hashkit::{geometric_rank, reduce64, splitmix64, CounterMap, EdgeHasher};
-
-/// Batch-ingest block size — [`crate::INGEST_BLOCK`]; `q_R` is frozen at
-/// its block-start value inside one block, bounding the per-edge HT drift
-/// by `BLOCK / Z` relative (see [`CardinalityEstimator::process_batch`]).
-const BLOCK: usize = crate::INGEST_BLOCK;
-
-/// How many register-growth events may pass between exact recomputations of
-/// `Z = Σ_j 2^{-R[j]}`. Each incremental update adds one rounding error of
-/// at most ~2⁻⁵³·M, so a 2²⁰ window keeps the accumulated drift far below
-/// any estimate's noise floor; the rebuild is O(M) but amortizes to ~0.
-const Z_REBUILD_INTERVAL: u64 = 1 << 20;
 
 /// The FreeRS estimator: one shared array of `M` w-bit registers, one
 /// counter per user.
@@ -38,17 +31,7 @@ const Z_REBUILD_INTERVAL: u64 = 1 << 20;
 /// }
 /// assert!((frs.estimate(1) / 50_000.0 - 1.0).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct FreeRS {
-    registers: PackedArray,
-    hasher: EdgeHasher,
-    estimates: CounterMap,
-    /// Incrementally maintained `Z = Σ_j 2^{-R[j]}`.
-    z: f64,
-    total: f64,
-    growths_since_rebuild: u64,
-}
+pub type FreeRS = SketchEngine<PackedArray, IncrementalZ>;
 
 impl FreeRS {
     /// The paper's register width: 5 bits (§V-B).
@@ -71,191 +54,35 @@ impl FreeRS {
     /// Panics if `m_registers == 0` or `width ∉ 1..=16`.
     #[must_use]
     pub fn with_width(m_registers: usize, width: u8, seed: u64) -> Self {
-        let registers = PackedArray::new(m_registers, width);
-        let z = m_registers as f64;
-        Self {
-            registers,
-            hasher: EdgeHasher::new(seed),
-            estimates: CounterMap::new(),
-            z,
-            total: 0.0,
-            growths_since_rebuild: 0,
-        }
-    }
-
-    /// The number of shared registers `M`.
-    #[must_use]
-    pub fn capacity(&self) -> usize {
-        self.registers.len()
+        Self::from_store(PackedArray::new(m_registers, width), seed)
     }
 
     /// Register width `w` in bits.
     #[must_use]
     pub fn width(&self) -> u8 {
-        self.registers.width()
-    }
-
-    /// The current sampling probability `q_R = Z/M`.
-    #[must_use]
-    pub fn q(&self) -> f64 {
-        self.z / self.registers.len() as f64
-    }
-
-    /// Number of users currently tracked.
-    #[must_use]
-    pub fn user_count(&self) -> usize {
-        self.estimates.len()
+        self.registers().width()
     }
 
     /// Recomputes `Z` exactly and returns the absolute drift the incremental
     /// value had accumulated (exposed for the drift ablation and tests).
     pub fn rebuild_z(&mut self) -> f64 {
-        let exact = self.registers.sum_pow2_neg();
-        let drift = (self.z - exact).abs();
-        self.z = exact;
-        self.growths_since_rebuild = 0;
-        drift
+        let (store, q) = self.store_and_q_mut();
+        q.rebuild(store)
     }
 
     /// Read-only view of the shared registers.
     #[must_use]
     pub fn registers(&self) -> &PackedArray {
-        &self.registers
+        self.store()
     }
-
-    /// Credits `delta` to `user`'s HT counter and the running total.
-    #[inline]
-    fn credit(&mut self, user: u64, delta: f64) {
-        self.estimates.add(user, delta);
-        self.total += delta;
-    }
-}
-
-impl CardinalityEstimator for FreeRS {
-    #[inline]
-    fn process(&mut self, user: u64, item: u64) {
-        let (slot, rank) = self
-            .hasher
-            .slot_and_rank(user, item, self.registers.len());
-        let new = u16::from(rank.saturated(self.registers.width()));
-        if let Some(old) = self.registers.store_max(slot, new) {
-            // The text of §IV-B defines q_R(t) on the registers *before*
-            // observing e(t) (that is what makes E[ξ|q] = q and the HT sum
-            // unbiased), so the increment reads Z before applying the
-            // register's delta. (Algorithm 2's pseudo-code updates q first —
-            // a one-register discrepancy from the text; we follow the text,
-            // mirroring Algorithm 1's use of the pre-update m₀.)
-            let q = self.z / self.registers.len() as f64;
-            self.credit(user, 1.0 / q);
-            self.z += pow2_neg(new) - pow2_neg(old);
-            self.growths_since_rebuild += 1;
-            if self.growths_since_rebuild >= Z_REBUILD_INTERVAL {
-                self.rebuild_z();
-            }
-        }
-        // Non-growing edges are discarded for free, as in Algorithm 2: no
-        // counter write, no map lookup.
-    }
-
-    /// Phased batch ingest, mirroring [`FreeBS`]'s block pipeline: block
-    /// hashing, a load-only warm pass over the block's register words, the
-    /// max-update pass (recording growths and summing the exact `Z` delta
-    /// once per block), then a warm + credit pass over the growing edges'
-    /// counters with `q_R` frozen at its block-start value (drift bound on
-    /// [`CardinalityEstimator::process_batch`]). The rebuild-interval check
-    /// runs once per block instead of once per growth.
-    ///
-    /// [`FreeBS`]: crate::FreeBS
-    fn process_batch(&mut self, edges: &[(u64, u64)]) {
-        let m = self.registers.len();
-        let width = self.registers.width();
-        let mut hashes = [0u64; BLOCK];
-        let mut grew = [false; BLOCK];
-        let mut grew_users = [0u64; BLOCK];
-        for chunk in edges.chunks(BLOCK) {
-            let k = chunk.len();
-            self.hasher.hash_many(chunk, &mut hashes[..k]);
-            let mut acc = 0u64;
-            for &h in &hashes[..k] {
-                acc ^= self.registers.warm(reduce64(h, m));
-            }
-            std::hint::black_box(acc);
-            // q_R for the whole block reads Z *before* any of its updates;
-            // z >= M·2^{-(2^w - 1)} > 0, so the frozen inc is finite.
-            let inc = m as f64 / self.z;
-            let mut z_delta = 0.0f64;
-            let mut growths = 0usize;
-            for (i, &h) in hashes[..k].iter().enumerate() {
-                let slot = reduce64(h, m);
-                let new = u16::from(geometric_rank(splitmix64(h)).saturated(width));
-                let grown = self.registers.store_max(slot, new);
-                grew[i] = grown.is_some();
-                if let Some(old) = grown {
-                    z_delta += pow2_neg(new) - pow2_neg(old);
-                }
-            }
-            for (&(user, _), &g) in chunk.iter().zip(&grew[..k]) {
-                grew_users[growths] = user;
-                growths += usize::from(g);
-            }
-            if growths == 0 {
-                continue;
-            }
-            let mut acc = 0u64;
-            for &user in &grew_users[..growths] {
-                acc ^= self.estimates.warm(user);
-            }
-            std::hint::black_box(acc);
-            let mut i = 0usize;
-            while i < growths {
-                let user = grew_users[i];
-                let mut run = 1usize;
-                while i + run < growths && grew_users[i + run] == user {
-                    run += 1;
-                }
-                self.estimates.add(user, inc * run as f64);
-                i += run;
-            }
-            self.total += inc * growths as f64;
-            self.z += z_delta;
-            self.growths_since_rebuild += growths as u64;
-            if self.growths_since_rebuild >= Z_REBUILD_INTERVAL {
-                self.rebuild_z();
-            }
-        }
-    }
-
-    #[inline]
-    fn estimate(&self, user: u64) -> f64 {
-        self.estimates.get(user).unwrap_or(0.0)
-    }
-
-    fn total_estimate(&self) -> f64 {
-        self.total
-    }
-
-    fn memory_bits(&self) -> usize {
-        self.registers.len() * usize::from(self.registers.width())
-    }
-
-    fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
-        self.estimates.for_each(f);
-    }
-
-    fn name(&self) -> &'static str {
-        "FreeRS"
-    }
-}
-
-/// `2^{-v}` by exponent manipulation (exact for all register values).
-#[inline]
-fn pow2_neg(v: u16) -> f64 {
-    f64::from_bits((1023u64.saturating_sub(u64::from(v))) << 52)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CardinalityEstimator;
+
+    const BLOCK: usize = crate::INGEST_BLOCK;
 
     #[test]
     fn unseen_user_estimates_zero() {
@@ -339,8 +166,7 @@ mod tests {
             mean += f.estimate(1);
         }
         mean /= seeds as f64;
-        let var: f64 =
-            all.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (seeds as f64 - 1.0);
+        let var: f64 = all.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (seeds as f64 - 1.0);
         let se = (var / seeds as f64).sqrt();
         assert!(
             (mean - n as f64).abs() < 4.0 * se + 1.0,
@@ -384,14 +210,24 @@ mod tests {
             scalar.process(u, d);
         }
         batch.process_batch(&edges);
-        assert_eq!(scalar.registers(), batch.registers(), "registers must match");
+        assert_eq!(
+            scalar.registers(),
+            batch.registers(),
+            "registers must match"
+        );
         assert!(batch.rebuild_z() < 1e-9, "batch Z must stay exact");
         // Drift bound: BLOCK / Z_final, one-sided (batch <= scalar).
-        let tol = BLOCK as f64 / batch.z;
+        let tol = BLOCK as f64 / (batch.q() * batch.capacity() as f64);
         for u in 0..11u64 {
             let (s, b) = (scalar.estimate(u), batch.estimate(u));
-            assert!(b <= s + 1e-9, "user {u}: batch {b} must not exceed scalar {s}");
-            assert!((s - b) <= s * tol + 1e-9, "user {u}: {s} vs {b} (tol {tol})");
+            assert!(
+                b <= s + 1e-9,
+                "user {u}: batch {b} must not exceed scalar {s}"
+            );
+            assert!(
+                (s - b) <= s * tol + 1e-9,
+                "user {u}: {s} vs {b} (tol {tol})"
+            );
         }
     }
 

@@ -238,7 +238,11 @@ mod tests {
             }
         }
         let rel = (j.total_estimate() / distinct as f64 - 1.0).abs();
-        assert!(rel < 0.35, "total {} vs distinct {distinct}", j.total_estimate());
+        assert!(
+            rel < 0.35,
+            "total {} vs distinct {distinct}",
+            j.total_estimate()
+        );
     }
 
     #[test]

@@ -8,20 +8,46 @@
 //! every estimator here maintains, in one shared fixed-size array, enough
 //! state to report **every user's distinct-item count at any time**:
 //!
-//! | estimator | shared state | per-edge cost | paper role |
-//! |-----------|--------------|---------------|------------|
-//! | [`FreeBS`]  | bit array `B[1..M]`       | O(1) | contribution (§IV-A) |
-//! | [`FreeRS`]  | registers `R[1..M]`       | O(1) | contribution (§IV-B) |
-//! | [`Cse`]     | bit array + virtual LPC   | O(m) | baseline (Yoon et al.) |
-//! | [`VHll`]    | registers + virtual HLL   | O(m) | baseline (Xiao et al.) |
-//! | [`PerUserLpc`]   | one LPC per user     | O(m) | baseline |
-//! | [`PerUserHllpp`] | one HLL++ per user   | O(m) | baseline |
+//! | estimator | shared state | access | paper role |
+//! |-----------|--------------|--------|------------|
+//! | [`FreeBS`]  | bit array `B[1..M]`       | `&mut` | contribution (§IV-A) |
+//! | [`FreeRS`]  | registers `R[1..M]`       | `&mut` | contribution (§IV-B) |
+//! | [`ConcurrentFreeBS`] | atomic bit array  | `&self`, lock-free | extension |
+//! | [`ConcurrentFreeRS`] | atomic registers  | `&self`, lock-free | extension |
+//! | [`ShardedFreeBS`] / [`ShardedFreeRS`] | `P` sub-arrays, per-shard `q` | `&self`, parallel scale-out | extension |
+//! | [`Cse`]     | bit array + virtual LPC   | `&mut`, O(m) | baseline (Yoon et al.) |
+//! | [`VHll`]    | registers + virtual HLL   | `&mut`, O(m) | baseline (Xiao et al.) |
+//! | [`PerUserLpc`] / [`PerUserHllpp`] | one sketch per user | `&mut`, O(m) | baselines |
 //!
 //! The two contributions are *parameter-free* (no per-user sketch size `m`
 //! to tune) and exploit the **dynamic properties** of the shared array: the
 //! probability `q(t)` that a brand-new edge changes the array is tracked
 //! exactly (FreeBS) or incrementally (FreeRS), and each user's estimate is a
 //! Horvitz–Thompson sum of `1/q(t)` over the edges that changed the array.
+//!
+//! ## Architecture
+//!
+//! The four FreeBS/FreeRS variants are instantiations of **two generic
+//! engines** over the [`bitpack::SlotStore`] /
+//! [`bitpack::ConcurrentSlotStore`] storage seam:
+//!
+//! * [`engine::SketchEngine`]`<S, Q>` — the exclusive (`&mut`) pipeline:
+//!   [`FreeBS`] = `SketchEngine<BitArray, ZeroQ>`, [`FreeRS`] =
+//!   `SketchEngine<PackedArray, IncrementalZ>`;
+//! * [`concurrent::ConcurrentEngine`]`<S, Q>` — the shared (`&self`)
+//!   pipeline: [`ConcurrentFreeBS`] = `ConcurrentEngine<AtomicBitArray,
+//!   SharedZeroQ>`, [`ConcurrentFreeRS`] =
+//!   `ConcurrentEngine<AtomicPackedArray, SharedZ>`;
+//!
+//! [`ShardedSketch`] composes `P` concurrent engines behind one estimator
+//! (per-shard `q`, HT sums merged across shards) and [`Windowed`] rotates
+//! `Arc`-owned slices of any estimator — including the concurrent ones,
+//! under parallel ingest — for sliding-window semantics.
+//!
+//! The `concurrent` module is public and its engines are re-exported at
+//! the crate root, so `freesketch::ConcurrentFreeBS` and
+//! `freesketch::concurrent::ConcurrentFreeBS` name the same type (and the
+//! same for `ConcurrentFreeRS`).
 //!
 //! ```
 //! use freesketch::{CardinalityEstimator, FreeBS};
@@ -39,19 +65,18 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
-mod concurrent_rs;
 mod confidence;
 mod cse;
+pub mod engine;
 mod freebs;
 mod freers;
 mod jointlpc;
 mod peruser;
+mod sharded;
 mod spreader;
 pub mod theory;
 mod vhll;
 mod window;
-
-pub use concurrent_rs::ConcurrentFreeRS;
 
 /// Internal block depth of the batched ingest fast path: `process_batch`
 /// freezes the sampling probability `q` for `INGEST_BLOCK` edges at a time
@@ -59,12 +84,16 @@ pub use concurrent_rs::ConcurrentFreeRS;
 /// bound) and phases each block's memory traffic so cache misses overlap.
 /// Exposed so tests and callers can reason about the drift tolerance.
 pub const INGEST_BLOCK: usize = 512;
+
+pub use concurrent::{ConcurrentEstimator, ConcurrentFreeBS, ConcurrentFreeRS};
 pub use confidence::{ConfidenceTracking, EstimateWithCi, SamplingProbability};
 pub use cse::Cse;
+pub use engine::{IncrementalZ, QTracker, SketchEngine, ZeroQ};
 pub use freebs::FreeBS;
 pub use freers::FreeRS;
 pub use jointlpc::JointLpc;
 pub use peruser::{PerUserHllpp, PerUserLpc};
+pub use sharded::{ShardedFreeBS, ShardedFreeRS, ShardedSketch};
 pub use spreader::{detect_spreaders, SpreaderReport};
 pub use vhll::VHll;
 pub use window::Windowed;
@@ -83,10 +112,11 @@ pub trait CardinalityEstimator {
     /// Observes a slice of edges at once — the batched ingest fast path.
     ///
     /// The default implementation is a plain per-edge loop, so every
-    /// estimator gets the API for free; [`FreeBS`], [`FreeRS`], [`Cse`] and
-    /// [`VHll`] override it with hand-optimized block pipelines (block
-    /// hashing, software prefetch of the next block's array words, and
-    /// amortized `q`/counter maintenance).
+    /// estimator gets the API for free; the FreeBS/FreeRS engines (scalar,
+    /// concurrent and sharded), [`Cse`] and [`VHll`] override it with
+    /// hand-optimized block pipelines (block hashing, software prefetch of
+    /// the next block's array words, and amortized `q`/counter
+    /// maintenance).
     ///
     /// **Contract:** the final shared-array state (bits/registers) is
     /// *identical* to processing the same edges one at a time in order. The
@@ -136,6 +166,10 @@ mod trait_object_tests {
             Box::new(VHll::new(1 << 11, 128, 1)),
             Box::new(PerUserLpc::new(256, 1)),
             Box::new(PerUserHllpp::new(4, 1)),
+            Box::new(ConcurrentFreeBS::new(1 << 14, 1)),
+            Box::new(ConcurrentFreeRS::new(1 << 11, 1)),
+            Box::new(ShardedFreeBS::new(1 << 14, 4, 1)),
+            Box::new(ShardedFreeRS::new(1 << 11, 4, 1)),
         ];
         for est in &mut all {
             for u in 0..10u64 {
@@ -150,6 +184,21 @@ mod trait_object_tests {
             let mut count = 0;
             est.for_each_estimate(&mut |_, _| count += 1);
             assert_eq!(count, 10, "{}", est.name());
+        }
+    }
+
+    #[test]
+    fn concurrent_estimators_are_object_safe_too() {
+        let all: Vec<Box<dyn ConcurrentEstimator>> = vec![
+            Box::new(ConcurrentFreeBS::new(1 << 14, 1)),
+            Box::new(ShardedFreeRS::new(1 << 11, 2, 1)),
+        ];
+        for est in &all {
+            for d in 0..50u64 {
+                est.ingest(1, d);
+            }
+            est.ingest_batch(&[(1, 100), (2, 7)]);
+            assert!(est.estimate(1) > 0.0, "{}", est.name());
         }
     }
 }

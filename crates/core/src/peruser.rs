@@ -165,10 +165,7 @@ impl CardinalityEstimator for PerUserHllpp {
     }
 
     fn memory_bits(&self) -> usize {
-        self.sketches
-            .values()
-            .map(|s| s.memory_bytes() * 8)
-            .sum()
+        self.sketches.values().map(|s| s.memory_bytes() * 8).sum()
     }
 
     fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
@@ -222,7 +219,11 @@ mod tests {
         for d in 0..50u64 {
             p.process(2, d);
         }
-        assert!((p.estimate(1) / 5_000.0 - 1.0).abs() < 0.25, "{}", p.estimate(1));
+        assert!(
+            (p.estimate(1) / 5_000.0 - 1.0).abs() < 0.25,
+            "{}",
+            p.estimate(1)
+        );
         assert!((p.estimate(2) - 50.0).abs() < 10.0, "{}", p.estimate(2));
     }
 

@@ -41,7 +41,10 @@ pub struct SpreaderReport {
 /// Panics if `delta ∉ (0, 1)`.
 #[must_use]
 pub fn detect_spreaders<E: CardinalityEstimator + ?Sized>(est: &E, delta: f64) -> SpreaderReport {
-    assert!(delta > 0.0 && delta < 1.0, "relative threshold must be in (0,1)");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "relative threshold must be in (0,1)"
+    );
     let total_estimate = est.total_estimate();
     let threshold = delta * total_estimate;
     let mut detected = FxHashSet::default();

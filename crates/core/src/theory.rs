@@ -77,7 +77,8 @@ pub fn cse_variance(n_s: f64, n: f64, m: f64, m_bits: f64) -> f64 {
 pub fn vhll_variance(n_s: f64, n: f64, m: f64, m_regs: f64) -> f64 {
     let ratio = m_regs / (m_regs - m);
     let noise = (n - n_s) * m / m_regs;
-    ratio * ratio
+    ratio
+        * ratio
         * ((1.04 * 1.04 / m) * (n_s + noise).powi(2)
             + (n - n_s) * (m / m_regs) * (1.0 - m / m_regs)
             + (1.04 * n * m).powi(2) / m_regs.powi(3))
@@ -142,16 +143,17 @@ mod tests {
         let m = 1e4;
         let below = freers_e_inv_q(2.49 * m, m);
         let above = freers_e_inv_q(2.51 * m, m);
-        assert!(above / below < 1.5 && below / above < 1.5, "{below} vs {above}");
+        assert!(
+            above / below < 1.5 && below / above < 1.5,
+            "{below} vs {above}"
+        );
     }
 
     #[test]
     fn paper_claim_freers_beats_vhll_variance() {
         // §IV-C: FreeRS's bound 1.386·n·n_s/M is below vHLL's 2.163·n·n_s/(M−m).
         let (n_s, n, m, m_regs) = (1e3, 1e6, 1024.0, 1e5);
-        assert!(
-            freers_variance_upper(n_s, n, m_regs) < vhll_variance_lower(n_s, n, m, m_regs)
-        );
+        assert!(freers_variance_upper(n_s, n, m_regs) < vhll_variance_lower(n_s, n, m, m_regs));
     }
 
     #[test]

@@ -255,8 +255,7 @@ mod tests {
         // Tolerance from the paper's own variance formula (§III-B2): allow
         // 4σ around the truth.
         let total = 199.0 + 998.0 * 50.0;
-        let sigma =
-            crate::theory::vhll_variance(n as f64, total, 256.0, 4096.0).sqrt();
+        let sigma = crate::theory::vhll_variance(n as f64, total, 256.0, 4096.0).sqrt();
         assert!(
             (est - n as f64).abs() < 4.0 * sigma,
             "estimate {est} vs true {n} (σ = {sigma:.1}) under heavy sharing"

@@ -272,6 +272,135 @@ proptest! {
         }
         prop_assert_eq!(a.estimate(5), b.estimate(5));
     }
+
+    /// The storage-generic `SketchEngine` reproduces a straight-line
+    /// transcription of Algorithm 1 (bit array, exact pre-update m₀, HT
+    /// counters) **exactly** — same seed, same stream ⇒ identical
+    /// estimates, bit for bit.
+    #[test]
+    fn engine_reproduces_algorithm1_reference(stream in edges(), seed: u64) {
+        let m = 1 << 12;
+        let mut engine = FreeBS::new(m, seed);
+        let mut bits = bitpack::BitArray::new(m);
+        let hasher = hashkit::EdgeHasher::new(seed);
+        let mut reference = std::collections::HashMap::<u64, f64>::new();
+        let mut total = 0.0;
+        for &(u, d) in &stream {
+            engine.process(u, d);
+            let m0 = bits.zeros();
+            if bits.set(hasher.slot(u, d, m)) {
+                let inc = m as f64 / m0 as f64;
+                *reference.entry(u).or_insert(0.0) += inc;
+                total += inc;
+            }
+        }
+        prop_assert_eq!(engine.bit_array(), &bits);
+        prop_assert_eq!(engine.total_estimate(), total);
+        for u in 0..32u64 {
+            prop_assert_eq!(
+                engine.estimate(u),
+                reference.get(&u).copied().unwrap_or(0.0),
+                "user {}", u
+            );
+        }
+    }
+
+    /// Same for Algorithm 2: register max-updates, incremental Z read on
+    /// the pre-update state — the generic engine must be an exact
+    /// reimplementation.
+    #[test]
+    fn engine_reproduces_algorithm2_reference(stream in edges(), seed: u64) {
+        let m = 1 << 9;
+        let width = FreeRS::DEFAULT_WIDTH;
+        let mut engine = FreeRS::new(m, seed);
+        let mut regs = bitpack::PackedArray::new(m, width);
+        let hasher = hashkit::EdgeHasher::new(seed);
+        let mut z = m as f64;
+        let mut reference = std::collections::HashMap::<u64, f64>::new();
+        let pow2_neg = |v: u16| f64::from_bits((1023u64.saturating_sub(u64::from(v))) << 52);
+        for &(u, d) in &stream {
+            engine.process(u, d);
+            let h = hasher.hash_edge(u, d);
+            let slot = hashkit::reduce64(h, m);
+            let new = u16::from(hashkit::geometric_rank(hashkit::splitmix64(h)).saturated(width));
+            if let Some(old) = regs.store_max(slot, new) {
+                *reference.entry(u).or_insert(0.0) += m as f64 / z;
+                z += pow2_neg(new) - pow2_neg(old);
+            }
+        }
+        prop_assert_eq!(engine.registers(), &regs);
+        for u in 0..32u64 {
+            prop_assert_eq!(
+                engine.estimate(u),
+                reference.get(&u).copied().unwrap_or(0.0),
+                "user {}", u
+            );
+        }
+    }
+
+    /// Sharded estimates decompose exactly: routing every edge by hand to
+    /// P independent concurrent engines reproduces `ShardedSketch`'s
+    /// per-user estimates, and replaying the stream changes nothing
+    /// (global dedup across shards).
+    #[test]
+    fn sharded_decomposes_and_deduplicates(stream in edges(), seed: u64) {
+        let sharded = freesketch::ShardedFreeBS::new(1 << 14, 4, seed);
+        for &(u, d) in &stream {
+            sharded.process(u, d);
+        }
+        let before: Vec<f64> = (0..32).map(|u| sharded.estimate(u)).collect();
+        // Per-shard HT sums compose: the total is the sum over shards,
+        // which equals the sum over users.
+        let mut sum = 0.0;
+        sharded.for_each_estimate(&mut |_, e| sum += e);
+        prop_assert!((sum - sharded.total_estimate()).abs() < 1e-6);
+        // Replay: every edge routes to the same shard and the same slot.
+        for &(u, d) in &stream {
+            sharded.process(u, d);
+        }
+        let after: Vec<f64> = (0..32).map(|u| sharded.estimate(u)).collect();
+        prop_assert_eq!(before, after, "sharded replay must be absorbed");
+    }
+}
+
+/// Multi-thread sharded stress: 4 threads splitting one stream must land
+/// within a small skew of the same sharded estimator fed sequentially —
+/// the only nondeterminism is the bounded q staleness across in-flight
+/// updates, far below the estimator's own noise.
+#[test]
+fn sharded_parallel_ingest_bounds_skew_vs_sequential() {
+    let users = 16u64;
+    let edges: Vec<(u64, u64)> = (0..120_000u64)
+        .map(|i| (i % users, hashkit::splitmix64(i) >> 12))
+        .collect();
+
+    let sequential = freesketch::ShardedFreeBS::new(1 << 18, 4, 42);
+    sequential.process_batch(&edges);
+
+    let threads = 4;
+    let parallel = std::sync::Arc::new(freesketch::ShardedFreeBS::new(1 << 18, 4, 42));
+    let chunk = edges.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for part in edges.chunks(chunk) {
+            let parallel = std::sync::Arc::clone(&parallel);
+            s.spawn(move || parallel.process_batch(part));
+        }
+    });
+
+    for u in 0..users {
+        let (seq, par) = (sequential.estimate(u), parallel.estimate(u));
+        let rel = (par / seq - 1.0).abs();
+        assert!(
+            rel < 0.02,
+            "user {u}: parallel {par} vs sequential {seq} (skew {rel})"
+        );
+    }
+    assert!(
+        (parallel.total_estimate() / sequential.total_estimate() - 1.0).abs() < 0.01,
+        "totals diverged: {} vs {}",
+        parallel.total_estimate(),
+        sequential.total_estimate()
+    );
 }
 
 fn serde_round<T: serde::Serialize + serde::de::DeserializeOwned>(v: &T) -> T {

@@ -59,11 +59,8 @@ fn freebs_unbiased_and_variance_bounded() {
         .collect();
     let (mean, var) = moments(&samples);
 
-    let bound = theory::freebs_variance_bound(
-        n_probe as f64,
-        (n_probe + n_bg) as f64,
-        m_bits as f64,
-    );
+    let bound =
+        theory::freebs_variance_bound(n_probe as f64, (n_probe + n_bg) as f64, m_bits as f64);
     // Unbiasedness: grand mean within 4 standard errors of the truth.
     let se = (var / trials as f64).sqrt();
     assert!(
@@ -78,7 +75,10 @@ fn freebs_unbiased_and_variance_bounded() {
     );
     // And the bound is not vacuous: variance should be within an order of
     // magnitude of it for this geometry.
-    assert!(var > bound * 0.1, "var {var:.1} suspiciously far below bound {bound:.1}");
+    assert!(
+        var > bound * 0.1,
+        "var {var:.1} suspiciously far below bound {bound:.1}"
+    );
 }
 
 #[test]
@@ -93,11 +93,8 @@ fn freers_unbiased_and_variance_bounded() {
         .collect();
     let (mean, var) = moments(&samples);
 
-    let bound = theory::freers_variance_bound(
-        n_probe as f64,
-        (n_probe + n_bg) as f64,
-        m_regs as f64,
-    );
+    let bound =
+        theory::freers_variance_bound(n_probe as f64, (n_probe + n_bg) as f64, m_regs as f64);
     let se = (var / trials as f64).sqrt();
     assert!(
         (mean - n_probe as f64).abs() < 4.0 * se + 1.0,

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn published_means() {
-        let means: Vec<f64> = PROFILES.iter().map(DatasetProfile::mean_cardinality).collect();
+        let means: Vec<f64> = PROFILES
+            .iter()
+            .map(DatasetProfile::mean_cardinality)
+            .collect();
         // Spot-check against hand-computed Table I ratios.
         assert!((means[0] - 2.751).abs() < 0.01, "sanjose {}", means[0]);
         assert!((means[2] - 36.615).abs() < 0.01, "twitter {}", means[2]);

@@ -74,9 +74,8 @@ impl SynthConfig {
         // Emit distinct edges: user u's j-th item is a pseudo-random id
         // deterministic in (seed, u, j) — item universes overlap across
         // users just as websites are shared across hosts.
-        let mut edges: Vec<Edge> = Vec::with_capacity(
-            (distinct_total as f64 * self.duplication) as usize + 1,
-        );
+        let mut edges: Vec<Edge> =
+            Vec::with_capacity((distinct_total as f64 * self.duplication) as usize + 1);
         let item_seed = mix64(self.seed, 0x5717_0002);
         for (u, &c) in cards.iter().enumerate() {
             let user = u as u64;
@@ -86,8 +85,7 @@ impl SynthConfig {
         }
 
         // Duplicate injection: re-emit random existing edges.
-        let dup_count =
-            ((self.duplication - 1.0) * distinct_total as f64).round() as usize;
+        let dup_count = ((self.duplication - 1.0) * distinct_total as f64).round() as usize;
         let distinct_len = edges.len();
         for _ in 0..dup_count {
             let pick = rng.next_below(distinct_len as u64) as usize;
@@ -288,7 +286,10 @@ mod tests {
             sum += v;
         }
         let emp_mean = sum as f64 / f64::from(n);
-        assert!((emp_mean / 5.0 - 1.0).abs() < 0.1, "empirical mean {emp_mean}");
+        assert!(
+            (emp_mean / 5.0 - 1.0).abs() < 0.1,
+            "empirical mean {emp_mean}"
+        );
         // Heavy tail: some sample should be far above the mean.
         assert!(max_seen > 100, "max sample {max_seen} not heavy-tailed");
     }
@@ -362,15 +363,14 @@ mod tests {
         // spread through the stream, not blocked by user id.
         let s = SynthConfig::tiny(17).generate();
         let first_user = s.edges()[0].user;
-        let any_late_small_user = s
-            .edges()
-            .iter()
-            .skip(s.len() / 2)
-            .any(|e| e.user < 100);
+        let any_late_small_user = s.edges().iter().skip(s.len() / 2).any(|e| e.user < 100);
         assert!(any_late_small_user, "small user ids only at stream head");
         // Not all early edges share one user.
         let distinct_early: std::collections::HashSet<u64> =
             s.edges().iter().take(100).map(|e| e.user).collect();
-        assert!(distinct_early.len() > 10, "first user {first_user} dominates");
+        assert!(
+            distinct_early.len() > 10,
+            "first user {first_user} dominates"
+        );
     }
 }

@@ -25,7 +25,11 @@ impl GroundTruth {
     /// Observes one edge. Returns `true` iff the edge was new (first
     /// occurrence of this user–item pair).
     pub fn observe(&mut self, edge: Edge) -> bool {
-        let fresh = self.per_user.entry(edge.user).or_default().insert(edge.item);
+        let fresh = self
+            .per_user
+            .entry(edge.user)
+            .or_default()
+            .insert(edge.item);
         self.total_distinct += u64::from(fresh);
         fresh
     }
@@ -52,7 +56,11 @@ impl GroundTruth {
     /// The largest user cardinality.
     #[must_use]
     pub fn max_cardinality(&self) -> u64 {
-        self.per_user.values().map(|s| s.len() as u64).max().unwrap_or(0)
+        self.per_user
+            .values()
+            .map(|s| s.len() as u64)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates `(user, n_s)` pairs.

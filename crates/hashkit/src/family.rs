@@ -57,7 +57,11 @@ impl HashFamily {
     #[inline]
     #[must_use]
     pub fn cell(&self, user: u64, i: usize) -> usize {
-        debug_assert!(i < self.arity, "function index {i} out of arity {}", self.arity);
+        debug_assert!(
+            i < self.arity,
+            "function index {i} out of arity {}",
+            self.arity
+        );
         reduce64(mix64_pair(self.seed, user, i as u64), self.array_len)
     }
 
@@ -126,7 +130,11 @@ mod tests {
         assert_eq!(cells.len(), 512);
         let distinct: std::collections::HashSet<_> = cells.iter().collect();
         // Birthday bound: expected collisions 512^2 / (2 * 65536) = 2.
-        assert!(distinct.len() >= 500, "too many collisions: {}", distinct.len());
+        assert!(
+            distinct.len() >= 500,
+            "too many collisions: {}",
+            distinct.len()
+        );
     }
 
     #[test]

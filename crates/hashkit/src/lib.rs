@@ -32,6 +32,7 @@ mod family;
 mod fxmap;
 mod mix;
 mod rank;
+mod sharded;
 mod xxhash;
 
 pub use countermap::CounterMap;
@@ -39,6 +40,7 @@ pub use family::{HashFamily, UserItemHasher};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mix::{mix64, mix64_pair, splitmix64, SplitMix64};
 pub use rank::{geometric_rank, Rank};
+pub use sharded::ShardedCounterMap;
 pub use xxhash::{xxhash64, XxHash64};
 
 /// Hashes one user–item pair into a `(slot, rank)` pair, the way FreeRS needs
@@ -169,7 +171,9 @@ mod tests {
         let b = EdgeHasher::new(2);
         // Equality for any single input is possible but astronomically
         // unlikely for a good mixer; check a few inputs.
-        let same = (0..16u64).filter(|&i| a.hash_edge(i, i) == b.hash_edge(i, i)).count();
+        let same = (0..16u64)
+            .filter(|&i| a.hash_edge(i, i) == b.hash_edge(i, i))
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -181,7 +185,10 @@ mod tests {
         for i in 0..10_000u64 {
             seen[h.slot(i, i.wrapping_mul(31), m)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all 16 slots should be hit in 10k draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 16 slots should be hit in 10k draws"
+        );
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! A mutex-sharded [`CounterMap`] for concurrent per-user counters.
+//!
+//! The concurrent estimators keep the same `u64 → f64` Horvitz–Thompson
+//! counters as the sequential ones, but must accept writes from many
+//! threads. [`ShardedCounterMap`] splits one [`CounterMap`] into `P`
+//! independently locked shards keyed by a mix of the user id, so writers
+//! for different users almost never contend and every shard keeps the flat
+//! one-cache-line-per-touch layout of the scalar store.
+
+use crate::countermap::CounterMap;
+use crate::mix::splitmix64;
+use parking_lot::Mutex;
+
+/// Default shard count: enough that 8–16 writer threads rarely collide,
+/// small enough that a full scan stays cheap.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// A concurrent `u64 → f64` accumulator map: `P` mutex-protected
+/// [`CounterMap`] shards, keyed by mixing the key before masking (so
+/// sequential user ids spread instead of piling into neighbouring shards).
+///
+/// ```
+/// use hashkit::ShardedCounterMap;
+///
+/// let m = ShardedCounterMap::default();
+/// m.add(7, 1.5);
+/// m.add(7, 1.0);
+/// assert_eq!(m.get(7), Some(2.5));
+/// assert_eq!(m.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedCounterMap {
+    shards: Box<[Mutex<CounterMap>]>,
+}
+
+impl Default for ShardedCounterMap {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedCounterMap {
+    /// Creates a map with `shards` shards, rounded up to a power of two
+    /// (minimum 1) so keys map by mask.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || Mutex::new(CounterMap::new()));
+        Self {
+            shards: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &Mutex<CounterMap> {
+        let h = splitmix64(key);
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Adds `delta` to `key`'s counter, inserting the key at zero first if
+    /// absent. Callable concurrently.
+    #[inline]
+    pub fn add(&self, key: u64, delta: f64) {
+        self.shard(key).lock().add(key, delta);
+    }
+
+    /// The counter for `key`, if present.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<f64> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Number of distinct keys across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no keys are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of all counters across all shards.
+    #[must_use]
+    pub fn values_sum(&self) -> f64 {
+        self.shards.iter().map(|s| s.lock().values_sum()).sum()
+    }
+
+    /// Visits every `(key, counter)` pair, one shard at a time (each shard
+    /// is locked only while it is being visited).
+    pub fn for_each(&self, f: &mut dyn FnMut(u64, f64)) {
+        for s in &self.shards {
+            s.lock().for_each(f);
+        }
+    }
+
+    /// Collapses into a single sequential [`CounterMap`] snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterMap {
+        let mut out = CounterMap::new();
+        self.for_each(&mut |k, v| out.add(k, v));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_round_trip() {
+        let m = ShardedCounterMap::new(8);
+        for k in 0..500u64 {
+            m.add(k, k as f64);
+            m.add(k, 1.0);
+        }
+        assert_eq!(m.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(m.get(k), Some(k as f64 + 1.0), "key {k}");
+        }
+        assert_eq!(m.get(9999), None);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedCounterMap::new(0).shard_count(), 1);
+        assert_eq!(ShardedCounterMap::new(3).shard_count(), 4);
+        assert_eq!(ShardedCounterMap::new(64).shard_count(), 64);
+    }
+
+    #[test]
+    fn concurrent_adds_all_land() {
+        let m = ShardedCounterMap::default();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for k in 0..200u64 {
+                        m.add(k * 8 + t, 1.0);
+                        m.add(42, 0.5); // shared hot key
+                    }
+                });
+            }
+        });
+        // Keys k*8+t cover 1600 distinct ids (42 = 5*8+2 is among them);
+        // the hot key receives 8 threads × 200 adds of 0.5 on top of its
+        // 1.0 from the disjoint pass.
+        assert_eq!(m.len(), 1600);
+        assert!((m.get(42).unwrap_or(0.0) - (1.0 + 1600.0 * 0.5)).abs() < 1e-9);
+        assert!((m.values_sum() - (1600.0 + 800.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_and_for_each_agree() {
+        let m = ShardedCounterMap::new(4);
+        m.add(u64::MAX, 2.0); // sentinel key must survive sharding
+        m.add(1, 3.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.get(u64::MAX), Some(2.0));
+        let mut n = 0;
+        m.for_each(&mut |_, _| n += 1);
+        assert_eq!(n, 2);
+        assert!(!m.is_empty());
+    }
+}

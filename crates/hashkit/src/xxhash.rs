@@ -45,12 +45,18 @@ pub fn xxhash64(seed: u64, data: &[u8]) -> u64 {
 
     while rest.len() >= 8 {
         h ^= round(0, read_u64(&rest[0..8]));
-        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         rest = &rest[8..];
     }
     if rest.len() >= 4 {
         h ^= u64::from(read_u32(&rest[0..4])).wrapping_mul(PRIME64_1);
-        h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
         rest = &rest[4..];
     }
     for &byte in rest {
@@ -102,7 +108,10 @@ impl XxHash64 {
     /// Creates a hasher with the given seed.
     #[must_use]
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, buf: Vec::new() }
+        Self {
+            seed,
+            buf: Vec::new(),
+        }
     }
 }
 

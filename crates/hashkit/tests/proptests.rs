@@ -1,6 +1,9 @@
 //! Property-based tests for the hashing substrate.
 
-use hashkit::{geometric_rank, mix64, mix64_pair, reduce64, splitmix64, EdgeHasher, HashFamily, Rank, UserItemHasher};
+use hashkit::{
+    geometric_rank, mix64, mix64_pair, reduce64, splitmix64, EdgeHasher, HashFamily, Rank,
+    UserItemHasher,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -99,7 +102,10 @@ fn edge_slots_chi_squared() {
             counts[h.slot(i, i ^ 0x5555, m)] += 1.0;
         }
         let expected = n as f64 / m as f64;
-        let chi2: f64 = counts.iter().map(|&c| (c - expected).powi(2) / expected).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c - expected).powi(2) / expected)
+            .sum();
         // dof = m-1; mean chi2 = m-1, std = sqrt(2(m-1)). Allow 5 sigma.
         let dof = (m - 1) as f64;
         assert!(

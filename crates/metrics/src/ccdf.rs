@@ -50,7 +50,13 @@ mod tests {
     #[test]
     fn single_value() {
         let c = ccdf(&[7]);
-        assert_eq!(c, vec![CcdfPoint { value: 7, fraction: 1.0 }]);
+        assert_eq!(
+            c,
+            vec![CcdfPoint {
+                value: 7,
+                fraction: 1.0
+            }]
+        );
     }
 
     #[test]
@@ -58,9 +64,27 @@ mod tests {
         // values: 1,1,2,4 -> P(X>=1)=1, P(X>=2)=0.5, P(X>=4)=0.25
         let c = ccdf(&[4, 1, 2, 1]);
         assert_eq!(c.len(), 3);
-        assert_eq!(c[0], CcdfPoint { value: 1, fraction: 1.0 });
-        assert_eq!(c[1], CcdfPoint { value: 2, fraction: 0.5 });
-        assert_eq!(c[2], CcdfPoint { value: 4, fraction: 0.25 });
+        assert_eq!(
+            c[0],
+            CcdfPoint {
+                value: 1,
+                fraction: 1.0
+            }
+        );
+        assert_eq!(
+            c[1],
+            CcdfPoint {
+                value: 2,
+                fraction: 0.5
+            }
+        );
+        assert_eq!(
+            c[2],
+            CcdfPoint {
+                value: 4,
+                fraction: 0.25
+            }
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ impl Table {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
         let header: Vec<String> = header.into_iter().map(Into::into).collect();
         assert!(!header.is_empty(), "table needs at least one column");
-        Self { header, rows: Vec::new() }
+        Self {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row; it must match the header arity.

@@ -20,7 +20,10 @@ fn main() {
     let mut est = FreeBS::new(m_bits, 9);
 
     println!("one user ramping up among background noise:\n");
-    println!("{:>10}  {:>10}  {:>10}  {:>7}", "time", "exact", "estimate", "error");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>7}",
+        "time", "exact", "estimate", "error"
+    );
     let mut exact = 0u64;
     for t in 0..200_000u64 {
         // The probe user adds a new item every 4th tick; three background

@@ -34,7 +34,10 @@ fn main() {
         stream.len(),
         bench_fmt(m_bits)
     );
-    println!("{:>8}  {:>10}  {:>9}  {:>8}  {:>8}", "minute", "threshold", "spreaders", "FNR", "FPR");
+    println!(
+        "{:>8}  {:>10}  {:>9}  {:>8}  {:>8}",
+        "minute", "threshold", "spreaders", "FNR", "FPR"
+    );
 
     let slices = 10;
     let slice_len = stream.len().div_ceil(slices);

@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -26,12 +29,21 @@ printf 'alice a\nalice b\nalice b\nbob a\n' > "$tmp/edges.tsv"
 ./target/release/freesketch estimate "$tmp/edges.tsv" --top 2 > /dev/null
 # Batch and scalar ingest paths must agree through the CLI.
 ./target/release/freesketch estimate "$tmp/edges.tsv" --batch 0 > /dev/null
+# Sharded parallel ingest drives the same report.
+./target/release/freesketch estimate "$tmp/edges.tsv" --threads 2 > /dev/null
 
 echo "==> ingest throughput smoke (1M synthetic edges through the batch path)"
-./target/release/exp_ingest --quick --json --out "$tmp/BENCH_ingest.json"
+./target/release/exp_ingest --quick --json --out "$tmp/BENCH_ingest.json" \
+  --threads 2 --scaling-out "$tmp/BENCH_scaling.json"
 test -s "$tmp/BENCH_ingest.json" || { echo "exp_ingest wrote no JSON"; exit 1; }
 grep -q '"mode": "batch"' "$tmp/BENCH_ingest.json" || {
   echo "exp_ingest JSON missing batch results"; exit 1;
+}
+# 2-thread sharded-ingest smoke: the scaling JSON must carry both thread
+# counts for both sharded methods.
+test -s "$tmp/BENCH_scaling.json" || { echo "exp_ingest wrote no scaling JSON"; exit 1; }
+grep -q '"method": "ShardedFreeBS", "threads": 2' "$tmp/BENCH_scaling.json" || {
+  echo "scaling JSON missing 2-thread sharded results"; exit 1;
 }
 
 echo "verify: OK"

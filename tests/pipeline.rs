@@ -56,7 +56,10 @@ fn run_all(profile_idx: usize, extra_scale: u64) -> (Vec<Run>, GroundTruth) {
 }
 
 fn rse_of(runs: &[Run], name: &str) -> f64 {
-    runs.iter().find(|r| r.name == name).expect("method present").mean_rse
+    runs.iter()
+        .find(|r| r.name == name)
+        .expect("method present")
+        .mean_rse
 }
 
 #[test]
@@ -113,11 +116,8 @@ fn spreader_detection_end_to_end() {
     let report = freesketch::detect_spreaders(&fbs, delta);
     let threshold = (delta * truth.total_cardinality() as f64).ceil().max(1.0) as u64;
     let actual = truth.spreaders(threshold);
-    let outcome = metrics::DetectionOutcome::compare(
-        &actual,
-        &report.detected,
-        truth.user_count() as u64,
-    );
+    let outcome =
+        metrics::DetectionOutcome::compare(&actual, &report.detected, truth.user_count() as u64);
     assert!(!actual.is_empty(), "workload should contain spreaders");
     assert!(outcome.fnr() < 0.25, "FNR {}", outcome.fnr());
     assert!(outcome.fpr() < 0.01, "FPR {}", outcome.fpr());
@@ -138,8 +138,14 @@ fn anytime_totals_track_running_truth() {
         frs.process(e.user, e.item);
         if i % 5000 == 4999 {
             let n = truth.total_cardinality() as f64;
-            assert!((fbs.total_estimate() / n - 1.0).abs() < 0.05, "FreeBS total at {i}");
-            assert!((frs.total_estimate() / n - 1.0).abs() < 0.10, "FreeRS total at {i}");
+            assert!(
+                (fbs.total_estimate() / n - 1.0).abs() < 0.05,
+                "FreeBS total at {i}"
+            );
+            assert!(
+                (frs.total_estimate() / n - 1.0).abs() < 0.10,
+                "FreeRS total at {i}"
+            );
         }
     }
 }

@@ -49,7 +49,10 @@ fn quickstart_example_path_reports_sane_aggregates() {
         truth.observe(*edge);
     }
     let exact = truth.total_cardinality() as f64;
-    assert!(exact > 1_000.0, "tiny profile should still stream >1k distinct pairs");
+    assert!(
+        exact > 1_000.0,
+        "tiny profile should still stream >1k distinct pairs"
+    );
     let total = estimator.total_estimate();
     assert!(
         (total / exact - 1.0).abs() < 0.05,

@@ -41,12 +41,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered as `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        Self { id: format!("{}/{}", name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// An id with only a parameter component.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -65,7 +69,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { id: self.to_string() }
+        BenchmarkId {
+            id: self.to_string(),
+        }
     }
 }
 
@@ -101,7 +107,11 @@ pub struct Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     /// Runs a single ungrouped benchmark.
@@ -146,7 +156,12 @@ impl BenchmarkGroup<'_> {
         id: impl IntoBenchmarkId,
         f: F,
     ) -> &mut Self {
-        run_one(Some(&self.name), &id.into_benchmark_id(), self.throughput, f);
+        run_one(
+            Some(&self.name),
+            &id.into_benchmark_id(),
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -182,7 +197,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
         Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / per_iter_s),
         Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / per_iter_s),
     });
-    println!("bench {full:<48} {:>14.0} ns/iter{}", bencher.mean_ns, rate.unwrap_or_default());
+    println!(
+        "bench {full:<48} {:>14.0} ns/iter{}",
+        bencher.mean_ns,
+        rate.unwrap_or_default()
+    );
 }
 
 /// Binds benchmark functions into a runnable group function.

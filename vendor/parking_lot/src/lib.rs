@@ -1,9 +1,10 @@
 //! Offline stand-in for the `parking_lot` crate (see `vendor/README.md`).
 //!
-//! Implements the one type this workspace uses: a **non-poisoning**
-//! [`Mutex`] whose `lock()` returns the guard directly instead of a
-//! `Result`, matching parking_lot's signature. Backed by `std::sync::Mutex`;
-//! a poisoned std lock (a panic while held) is transparently recovered,
+//! Implements the two types this workspace uses: a **non-poisoning**
+//! [`Mutex`] and a **non-poisoning** [`RwLock`], whose `lock()` / `read()`
+//! / `write()` return guards directly instead of a `Result`, matching
+//! parking_lot's signatures. Backed by the `std::sync` primitives; a
+//! poisoned std lock (a panic while held) is transparently recovered,
 //! which is exactly parking_lot's behaviour (it has no poisoning at all).
 
 #![forbid(unsafe_code)]
@@ -58,9 +59,91 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader–writer lock with parking_lot's non-poisoning API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// RAII shared-read guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// RAII exclusive-write guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader–writer lock protecting `value`.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the protected data.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available. Never
+    /// poisons: if a previous holder panicked, the data is handed over
+    /// as-is.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire shared read access without blocking.
+    #[inline]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the data without locking (requires
+    /// exclusive access to the lock itself).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
+
+    #[test]
+    fn rwlock_read_write_round_trip() {
+        let l = RwLock::new(41);
+        assert_eq!(*l.read(), 41);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 42);
+        let mut l = l;
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 43);
+    }
+
+    #[test]
+    fn rwlock_concurrent_readers() {
+        let l = RwLock::new(7u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        assert_eq!(*l.read(), 7);
+                    }
+                });
+            }
+        });
+    }
 
     #[test]
     fn lock_round_trip() {

@@ -231,13 +231,19 @@ pub mod prop {
         impl From<std::ops::Range<usize>> for SizeRange {
             fn from(r: std::ops::Range<usize>) -> Self {
                 assert!(r.start < r.end, "empty size range");
-                Self { lo: r.start, hi: r.end }
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
             }
         }
         impl From<std::ops::RangeInclusive<usize>> for SizeRange {
             fn from(r: std::ops::RangeInclusive<usize>) -> Self {
                 assert!(r.start() <= r.end(), "empty size range");
-                Self { lo: *r.start(), hi: *r.end() + 1 }
+                Self {
+                    lo: *r.start(),
+                    hi: *r.end() + 1,
+                }
             }
         }
 
@@ -256,7 +262,10 @@ pub mod prop {
 
         /// Generates vectors of values from `element` with length in `size`.
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -283,7 +292,10 @@ pub mod prop {
             S: Strategy,
             S::Value: std::hash::Hash + Eq,
         {
-            HashSetStrategy { element, size: size.into() }
+            HashSetStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         impl<S> Strategy for HashSetStrategy<S>

@@ -374,10 +374,14 @@ where
     S: BuildHasher + Default,
 {
     fn deserialize_value(v: &Value) -> Result<Self, Error> {
-        let entries = v.as_seq().ok_or_else(|| Error::custom("expected map entry sequence"))?;
+        let entries = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected map entry sequence"))?;
         let mut out = HashMap::with_capacity_and_hasher(entries.len(), S::default());
         for e in entries {
-            let pair = e.as_seq().ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+            let pair = e
+                .as_seq()
+                .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
             out.insert(
                 K::deserialize_value(seq_field(pair, 0)?)?,
                 V::deserialize_value(seq_field(pair, 1)?)?,
@@ -398,10 +402,14 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
 }
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn deserialize_value(v: &Value) -> Result<Self, Error> {
-        let entries = v.as_seq().ok_or_else(|| Error::custom("expected map entry sequence"))?;
+        let entries = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected map entry sequence"))?;
         let mut out = BTreeMap::new();
         for e in entries {
-            let pair = e.as_seq().ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+            let pair = e
+                .as_seq()
+                .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
             out.insert(
                 K::deserialize_value(seq_field(pair, 0)?)?,
                 V::deserialize_value(seq_field(pair, 1)?)?,
@@ -422,7 +430,9 @@ where
     S: BuildHasher + Default,
 {
     fn deserialize_value(v: &Value) -> Result<Self, Error> {
-        let items = v.as_seq().ok_or_else(|| Error::custom("expected sequence"))?;
+        let items = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?;
         let mut out = HashSet::with_capacity_and_hasher(items.len(), S::default());
         for i in items {
             out.insert(T::deserialize_value(i)?);
@@ -463,8 +473,14 @@ mod tests {
 
     #[test]
     fn primitive_round_trips() {
-        assert_eq!(u64::deserialize_value(&u64::MAX.serialize_value()).unwrap(), u64::MAX);
-        assert_eq!(i32::deserialize_value(&(-7i32).serialize_value()).unwrap(), -7);
+        assert_eq!(
+            u64::deserialize_value(&u64::MAX.serialize_value()).unwrap(),
+            u64::MAX
+        );
+        assert_eq!(
+            i32::deserialize_value(&(-7i32).serialize_value()).unwrap(),
+            -7
+        );
         let x = 0.1f64 + 0.2;
         assert_eq!(f64::deserialize_value(&x.serialize_value()).unwrap(), x);
         assert!(u8::deserialize_value(&Value::U64(300)).is_err());

@@ -46,8 +46,12 @@ enum Shape {
 
 fn expand(input: TokenStream, mode: Mode) -> TokenStream {
     match parse(input) {
-        Ok((name, shape)) => render(&name, &shape, mode).parse().expect("generated impl parses"),
-        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens parse"),
+        Ok((name, shape)) => render(&name, &shape, mode)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error tokens parse"),
     }
 }
 
@@ -62,7 +66,11 @@ fn parse(input: TokenStream) -> Result<(String, Shape), String> {
             i += 1;
             tokens[i - 1].to_string()
         }
-        other => return Err(format!("serde_derive stub: expected `struct` or `enum`, got {other:?}")),
+        other => {
+            return Err(format!(
+                "serde_derive stub: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
     };
 
     let name = match tokens.get(i) {
@@ -70,7 +78,11 @@ fn parse(input: TokenStream) -> Result<(String, Shape), String> {
             i += 1;
             id.to_string()
         }
-        other => return Err(format!("serde_derive stub: expected type name, got {other:?}")),
+        other => {
+            return Err(format!(
+                "serde_derive stub: expected type name, got {other:?}"
+            ))
+        }
     };
 
     if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
@@ -83,14 +95,18 @@ fn parse(input: TokenStream) -> Result<(String, Shape), String> {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
             Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
         }
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
             Ok((name, Shape::TupleStruct(count_top_level_fields(g.stream()))))
         }
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
             Ok((name, Shape::Enum(parse_variants(g.stream())?)))
         }
         Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
-        other => Err(format!("serde_derive stub: unsupported {kind} body: {other:?}")),
+        other => Err(format!(
+            "serde_derive stub: unsupported {kind} body: {other:?}"
+        )),
     }
 }
 
@@ -131,12 +147,20 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         }
         let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
-            other => return Err(format!("serde_derive stub: expected field name, got {other}")),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected field name, got {other}"
+                ))
+            }
         };
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("serde_derive stub: expected `:` after `{name}`, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected `:` after `{name}`, got {other:?}"
+                ))
+            }
         }
         skip_type_until_comma(&tokens, &mut i);
         fields.push(name);
@@ -207,7 +231,11 @@ fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
         }
         let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
-            other => return Err(format!("serde_derive stub: expected variant name, got {other}")),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected variant name, got {other}"
+                ))
+            }
         };
         i += 1;
         let arity = match tokens.get(i) {
@@ -225,7 +253,11 @@ fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
             None => {}
-            other => return Err(format!("serde_derive stub: expected `,` after variant, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected `,` after variant, got {other:?}"
+                ))
+            }
         }
         variants.push((name, arity));
     }

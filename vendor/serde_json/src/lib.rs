@@ -45,11 +45,17 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
 /// # Errors
 /// If the input is not valid JSON or does not match `T`'s shape.
 pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let value = parser.parse_value()?;
     parser.skip_whitespace();
     if parser.pos != parser.bytes.len() {
-        return Err(Error::custom(format!("trailing input at byte {}", parser.pos)));
+        return Err(Error::custom(format!(
+            "trailing input at byte {}",
+            parser.pos
+        )));
     }
     T::deserialize_value(&value)
 }
@@ -320,8 +326,7 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
         if text.is_empty() || text == "-" {
             return Err(Error::custom(format!("invalid number at byte {start}")));
         }
@@ -374,14 +379,14 @@ mod tests {
     #[test]
     fn structured_values_round_trip() {
         let v = Value::Map(vec![
-            ("a".into(), Value::Seq(vec![Value::U64(1), Value::Null, Value::Bool(true)])),
+            (
+                "a".into(),
+                Value::Seq(vec![Value::U64(1), Value::Null, Value::Bool(true)]),
+            ),
             ("b".into(), Value::F64(2.5)),
         ]);
         let json = to_string(&v).unwrap();
-        let back = Value::deserialize_value(
-            &from_str::<Value>(&json).unwrap(),
-        )
-        .unwrap();
+        let back = Value::deserialize_value(&from_str::<Value>(&json).unwrap()).unwrap();
         assert_eq!(back, v);
     }
 
@@ -437,14 +442,24 @@ mod tests {
         assert_eq!(from_str::<Named>(&json).unwrap(), named);
 
         let wrapper = Wrapper(std::num::NonZeroU8::new(7).unwrap());
-        assert_eq!(from_str::<Wrapper>(&to_string(&wrapper).unwrap()).unwrap(), wrapper);
+        assert_eq!(
+            from_str::<Wrapper>(&to_string(&wrapper).unwrap()).unwrap(),
+            wrapper
+        );
 
-        assert_eq!(from_str::<Marker>(&to_string(&Marker).unwrap()).unwrap(), Marker);
+        assert_eq!(
+            from_str::<Marker>(&to_string(&Marker).unwrap()).unwrap(),
+            Marker
+        );
 
         for shape in [
             Shape::Empty,
             Shape::Pair(3, -1.5),
-            Shape::Nested(Named { id: 0, weight: -0.0, tags: vec![] }),
+            Shape::Nested(Named {
+                id: 0,
+                weight: -0.0,
+                tags: vec![],
+            }),
         ] {
             let json = to_string(&shape).unwrap();
             assert_eq!(from_str::<Shape>(&json).unwrap(), shape, "json: {json}");
