@@ -1,37 +1,39 @@
 //! Subcommand implementations, writing to any `io::Write` so tests can
 //! capture output exactly.
+//!
+//! Every file-ingesting command streams its input through
+//! [`open_source`] — chunk-at-a-time, bounded memory — so traces far
+//! larger than RAM replay with a resident edge buffer of `--chunk` edges.
 
 use crate::args::{Cli, Command, MethodChoice};
-use crate::input::{hash_id, read_edges};
+use crate::input::{hash_id, open_source, InputFormat};
+use freesketch::ingest::{ingest_slice, stream_into, stream_into_parallel};
 use freesketch::{
     CardinalityEstimator, ConcurrentEstimator, FreeBS, FreeRS, ShardedFreeBS, ShardedFreeRS,
 };
-use graphstream::Edge;
+use graphstream::{Edge, FedgeWriter};
 use std::io::Write;
 
 /// Runs a parsed CLI against an output sink.
 ///
 /// # Errors
-/// Returns a boxed error on I/O problems, malformed input files, or unknown
-/// profile names.
+/// Returns a boxed error on I/O problems, malformed or corrupt input
+/// files, or unknown profile names.
 pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
     match &cli.command {
         Command::Estimate { path, top } => {
-            let edges = load(path)?;
             let mut runner = Runner::build(cli);
-            runner.ingest(cli, &edges);
+            let total = runner.ingest_source(cli, path)?;
             let est = runner.estimator();
             writeln!(
                 out,
                 "{} edges processed with {} ({} bits); total cardinality ≈ {:.0}",
-                edges.len(),
+                total,
                 est.name(),
                 est.memory_bits(),
                 est.total_estimate()
             )?;
-            let mut users: Vec<(u64, f64)> = Vec::new();
-            est.for_each_estimate(&mut |u, e| users.push((u, e)));
-            users.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+            let users = rank_users(est);
             writeln!(
                 out,
                 "top {} users by estimated cardinality:",
@@ -42,9 +44,8 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
             }
         }
         Command::Spreaders { path, delta } => {
-            let edges = load(path)?;
             let mut runner = Runner::build(cli);
-            runner.ingest(cli, &edges);
+            runner.ingest_source(cli, path)?;
             let est = runner.estimator();
             let report = freesketch::detect_spreaders(est, *delta);
             writeln!(
@@ -78,24 +79,96 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
             }
             sink.flush()?;
         }
+        Command::Convert {
+            input,
+            out: out_path,
+        } => {
+            let (mut src, format) = open_source(input, cli.format)?;
+            if format == InputFormat::Fedge {
+                return Err(format!("`{input}` is already fedge — nothing to convert").into());
+            }
+            // Encode into a sibling temp file and rename only on success:
+            // a failed conversion must never leave a valid-looking partial
+            // .fedge behind (the format has no record count to catch it)
+            // nor clobber a previous good output.
+            let part_path = format!("{out_path}.part");
+            let encode =
+                |src: &mut dyn graphstream::EdgeSource| -> Result<u64, Box<dyn std::error::Error>> {
+                    let file = std::fs::File::create(&part_path)
+                        .map_err(|e| format!("cannot create `{part_path}`: {e}"))?;
+                    let mut writer = FedgeWriter::new(std::io::BufWriter::new(file))?;
+                    let mut buf: Vec<Edge> = Vec::with_capacity(cli.chunk);
+                    loop {
+                        let n = src.next_chunk(&mut buf, cli.chunk)?;
+                        if n == 0 {
+                            break;
+                        }
+                        writer.write_edges(&buf)?;
+                    }
+                    let records = writer.records_written();
+                    writer.finish()?;
+                    Ok(records)
+                };
+            let records = match encode(src.as_mut()) {
+                Ok(records) => records,
+                Err(e) => {
+                    std::fs::remove_file(&part_path).ok();
+                    return Err(e);
+                }
+            };
+            std::fs::rename(&part_path, out_path)
+                .map_err(|e| format!("cannot move `{part_path}` to `{out_path}`: {e}"))?;
+            writeln!(
+                out,
+                "{records} edges → {out_path} (fedge, {} bytes)",
+                graphstream::fedge::FEDGE_HEADER_LEN as u64
+                    + records * graphstream::fedge::FEDGE_RECORD_LEN as u64
+            )?;
+        }
         Command::Track {
             path,
             user,
             checkpoints,
         } => {
-            let edges = load(path)?;
-            let uid = resolve_user(&edges, user);
+            let (total, uid) = scan_total_and_user(cli, path, user)?;
             let mut runner = Runner::build(cli);
-            let step = (edges.len() / checkpoints.max(&1)).max(1);
+            let step = (total / (*checkpoints).max(1) as u64).max(1);
             writeln!(out, "{:>12}  {:>12}", "edges seen", "estimate")?;
-            // Ingest one checkpoint interval at a time (batched within the
-            // interval) so each printed row reflects exactly `step` more
-            // edges, same as the per-edge loop.
-            let mut seen = 0usize;
-            while seen < edges.len() {
-                let end = (seen + step).min(edges.len());
-                runner.ingest(cli, &edges[seen..end]);
-                seen = end;
+            // Second pass: ingest one checkpoint interval at a time so each
+            // printed row reflects exactly `step` more edges (final partial
+            // interval included), regardless of chunk boundaries.
+            let (mut src, _) = open_source(path, cli.format)?;
+            let mut buf: Vec<Edge> = Vec::with_capacity(cli.chunk);
+            let mut pairs: Vec<(u64, u64)> = Vec::new();
+            let mut seen = 0u64;
+            let mut next_cp = step;
+            let mut printed_at = 0u64;
+            loop {
+                let n = src.next_chunk(&mut buf, cli.chunk)?;
+                if n == 0 {
+                    break;
+                }
+                let mut off = 0usize;
+                while off < n {
+                    let take = usize::try_from(next_cp - seen)
+                        .unwrap_or(usize::MAX)
+                        .min(n - off);
+                    runner.ingest(cli, &buf[off..off + take], &mut pairs);
+                    seen += take as u64;
+                    off += take;
+                    if seen == next_cp {
+                        writeln!(
+                            out,
+                            "{:>12}  {:>12.1}",
+                            seen,
+                            runner.estimator().estimate(uid)
+                        )?;
+                        printed_at = seen;
+                        next_cp += step;
+                    }
+                }
+            }
+            if seen > printed_at {
                 writeln!(
                     out,
                     "{:>12}  {:>12.1}",
@@ -108,40 +181,63 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
     Ok(())
 }
 
-/// The tracked user may be given as the original string id (hash it) or as
-/// a raw numeric id already present in the file (synth output).
-fn resolve_user(edges: &[Edge], user: &str) -> u64 {
-    if let Ok(numeric) = user.parse::<u64>() {
-        let as_string = hash_id(user);
-        // Prefer whichever interpretation actually occurs in the stream.
-        if edges.iter().any(|e| e.user == as_string) {
-            return as_string;
-        }
-        return hash_id(&numeric.to_string());
-    }
-    hash_id(user)
+/// All tracked users, heaviest estimate first. `total_cmp` (not
+/// `partial_cmp`) so a degenerate estimator state emitting NaN yields a
+/// deterministic order instead of a panic — NaN sorts ahead of every
+/// finite estimate and is visible in the output.
+fn rank_users(est: &dyn CardinalityEstimator) -> Vec<(u64, f64)> {
+    let mut users: Vec<(u64, f64)> = Vec::new();
+    est.for_each_estimate(&mut |u, e| users.push((u, e)));
+    users.sort_by(|a, b| b.1.total_cmp(&a.1));
+    users
 }
 
-/// Feeds edges to the estimator via the batched fast path in `batch`-sized
-/// slices, or the scalar per-edge loop when `batch == 0`. Pairs are
-/// converted one slice at a time so peak memory stays O(batch) on top of
-/// the edge list itself.
-fn ingest(est: &mut dyn CardinalityEstimator, edges: &[Edge], batch: usize) {
-    if batch == 0 {
-        for e in edges {
-            est.process(e.user, e.item);
+/// First streaming pass for `track`: the stream length (for checkpoint
+/// sizing) and the tracked user's resolved id. The user may be given as
+/// the original string id (hashed), as a numeric id already present in the
+/// file as text (synth output — hashed as its decimal string), or as a raw
+/// post-hash id in a `fedge` file; whichever interpretation actually
+/// occurs in the stream wins, string hash first.
+fn scan_total_and_user(
+    cli: &Cli,
+    path: &str,
+    user: &str,
+) -> Result<(u64, u64), Box<dyn std::error::Error>> {
+    let string_hash = hash_id(user);
+    let numeric: Option<u64> = user.parse().ok();
+    let (mut src, _) = open_source(path, cli.format)?;
+    let mut buf: Vec<Edge> = Vec::with_capacity(cli.chunk);
+    let mut total = 0u64;
+    let mut string_seen = false;
+    let mut raw_seen = false;
+    loop {
+        let n = src.next_chunk(&mut buf, cli.chunk)?;
+        if n == 0 {
+            break;
         }
-    } else {
-        for slice in edges.chunks(batch) {
-            est.process_batch(&graphstream::to_pairs(slice));
+        total += n as u64;
+        if !string_seen && buf.iter().any(|e| e.user == string_hash) {
+            string_seen = true;
+        }
+        if let Some(raw) = numeric {
+            if !raw_seen && buf.iter().any(|e| e.user == raw) {
+                raw_seen = true;
+            }
         }
     }
+    let uid = match numeric {
+        _ if string_seen => string_hash,
+        Some(raw) if raw_seen => raw,
+        Some(raw) => hash_id(&raw.to_string()),
+        None => string_hash,
+    };
+    Ok((total, uid))
 }
 
 /// The estimator an ingesting subcommand runs: the exclusive scalar
-/// estimators at `--threads 1`, the sharded concurrent ones (fed by
-/// [`ingest_parallel`]) above — so `--threads` behaves identically for
-/// `estimate`, `spreaders` and `track`.
+/// estimators at `--threads 1`, the sharded concurrent ones above — so
+/// `--threads` behaves identically for `estimate`, `spreaders` and
+/// `track`.
 enum Runner {
     Scalar(Box<dyn CardinalityEstimator>),
     Sharded(Box<dyn ConcurrentEstimator>),
@@ -156,10 +252,30 @@ impl Runner {
         }
     }
 
-    /// Feeds a chunk of the stream (parallel for the sharded runner).
-    fn ingest(&mut self, cli: &Cli, edges: &[Edge]) {
+    /// Streams a whole file into the estimator (parallel for the sharded
+    /// runner) through the core drivers; returns edges processed. Peak
+    /// resident edge memory is O(`--chunk`).
+    fn ingest_source(&mut self, cli: &Cli, path: &str) -> Result<u64, Box<dyn std::error::Error>> {
+        let (mut src, _) = open_source(path, cli.format)?;
+        let total = match self {
+            Self::Scalar(est) => stream_into(est.as_mut(), src.as_mut(), cli.chunk, cli.batch)?,
+            Self::Sharded(est) => stream_into_parallel(
+                est.as_ref(),
+                src.as_mut(),
+                cli.chunk,
+                cli.batch,
+                cli.threads,
+            )?,
+        };
+        Ok(total)
+    }
+
+    /// Feeds one in-memory slice (parallel for the sharded runner) — the
+    /// checkpointed `track` replay drives this per interval, passing one
+    /// pairs buffer reused across all intervals.
+    fn ingest(&mut self, cli: &Cli, edges: &[Edge], pairs: &mut Vec<(u64, u64)>) {
         match self {
-            Self::Scalar(est) => ingest(est.as_mut(), edges, cli.batch),
+            Self::Scalar(est) => ingest_slice(est.as_mut(), edges, pairs, cli.batch),
             Self::Sharded(est) => ingest_parallel(est.as_ref(), edges, cli.batch, cli.threads),
         }
     }
@@ -199,7 +315,7 @@ fn build_sharded(cli: &Cli) -> Box<dyn ConcurrentEstimator> {
     }
 }
 
-/// Splits the stream into `threads` chunks and feeds them concurrently
+/// Splits the slice into `threads` chunks and feeds them concurrently
 /// through the sharded estimator's `&self` batch path (per-edge when
 /// `batch == 0`).
 fn ingest_parallel(est: &dyn ConcurrentEstimator, edges: &[Edge], batch: usize, threads: usize) {
@@ -219,11 +335,6 @@ fn ingest_parallel(est: &dyn ConcurrentEstimator, edges: &[Edge], batch: usize, 
             });
         }
     });
-}
-
-fn load(path: &str) -> Result<Vec<Edge>, Box<dyn std::error::Error>> {
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
-    Ok(read_edges(std::io::BufReader::new(file))?)
 }
 
 #[cfg(test)]
@@ -338,6 +449,32 @@ mod tests {
     }
 
     #[test]
+    fn track_chunk_boundaries_do_not_change_rows() {
+        // Checkpoint rows are a function of the stream, not of how it is
+        // chunked off disk: a chunk smaller than (and misaligned with) the
+        // checkpoint step must produce the identical table.
+        let mut content = String::new();
+        for d in 0..300 {
+            content.push_str(&format!("probe item{d}\n"));
+        }
+        let path = write_temp(&content);
+        let p = path.to_str().expect("utf8 path");
+        let whole = run_to_string(&["track", p, "--user", "probe", "--checkpoints", "5"]);
+        let chunked = run_to_string(&[
+            "track",
+            p,
+            "--user",
+            "probe",
+            "--checkpoints",
+            "5",
+            "--chunk",
+            "17",
+        ]);
+        assert_eq!(whole, chunked);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn batch_and_scalar_ingest_agree() {
         // Distinct per-user cardinalities so the top list has no ties (tied
         // estimates may legitimately order differently across ingest paths).
@@ -415,6 +552,167 @@ mod tests {
             "not monotone: {values:?}"
         );
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn convert_then_estimate_is_bit_identical() {
+        // The acceptance bar of the streaming-ingestion issue: a fedge
+        // re-encode of a TSV trace replays to the exact same report under
+        // the same flags — including with a chunk small enough that both
+        // files stream in many chunks, and on the sharded path.
+        let mut content = String::new();
+        for u in 0..10 {
+            for d in 0..(u + 1) * 15 {
+                content.push_str(&format!("user{u} item{u}x{d}\n"));
+            }
+        }
+        let tsv = write_temp(&content);
+        let p = tsv.to_str().expect("utf8 path");
+        let fedge = format!("{p}.fedge");
+        let conv = run_to_string(&["convert", p, &fedge]);
+        assert!(conv.contains("825 edges →"), "{conv}");
+
+        for extra in [&["--chunk", "100"][..], &["--batch", "0"], &[]] {
+            let mut args_tsv = vec!["estimate", p, "--top", "5"];
+            args_tsv.extend_from_slice(extra);
+            let mut args_fedge = vec!["estimate", fedge.as_str(), "--top", "5"];
+            args_fedge.extend_from_slice(extra);
+            assert_eq!(
+                run_to_string(&args_tsv),
+                run_to_string(&args_fedge),
+                "flags {extra:?}"
+            );
+        }
+
+        // track works on the binary file too (string user resolved by hash).
+        let t = run_to_string(&["track", &fedge, "--user", "user9", "--checkpoints", "3"]);
+        assert!(t.lines().count() >= 3, "{t}");
+
+        std::fs::remove_file(tsv).ok();
+        std::fs::remove_file(fedge).ok();
+    }
+
+    #[test]
+    fn failed_convert_is_atomic() {
+        // A conversion that errors mid-stream must neither leave a
+        // valid-looking partial .fedge behind nor clobber a previous good
+        // output — the format has no record count, so a partial file would
+        // replay silently short.
+        let good = write_temp("a b\nc d\n");
+        let bad = write_temp("a b\nc d\nbroken\ne f\n");
+        let out_path = format!("{}.out.fedge", good.to_str().expect("utf8 path"));
+        let part_path = format!("{out_path}.part");
+
+        run_to_string(&["convert", good.to_str().expect("utf8 path"), &out_path]);
+        let before = std::fs::read(&out_path).expect("good output exists");
+
+        let cli =
+            Cli::parse(&["convert", bad.to_str().expect("utf8 path"), &out_path]).expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("broken"), "{err}");
+        assert_eq!(
+            std::fs::read(&out_path).expect("still there"),
+            before,
+            "previous good output clobbered"
+        );
+        assert!(
+            !std::path::Path::new(&part_path).exists(),
+            "temp file left behind"
+        );
+
+        std::fs::remove_file(good).ok();
+        std::fs::remove_file(bad).ok();
+        std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn tsv_starting_with_magic_letters_stays_tsv() {
+        // Regression: detection must not misread a text trace whose first
+        // user id begins with "FEDG"; --format tsv also forces it.
+        let path = write_temp("FEDGE-host1 item1\nFEDGE-host1 item2\nFEDGE-host2 item1\n");
+        let p = path.to_str().expect("utf8 path");
+        for extra in [&[][..], &["--format", "tsv"]] {
+            let mut args = vec!["estimate", p, "--top", "2"];
+            args.extend_from_slice(extra);
+            let out = run_to_string(&args);
+            assert!(out.contains("3 edges processed"), "{extra:?}: {out}");
+            assert!(
+                out.contains(&format!("{:016x}", hash_id("FEDGE-host1"))),
+                "{out}"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn convert_rejects_fedge_input() {
+        let tsv = write_temp("a b\nc d\n");
+        let p = tsv.to_str().expect("utf8 path");
+        let fedge = format!("{p}.fedge");
+        run_to_string(&["convert", p, &fedge]);
+        let cli = Cli::parse(&["convert", fedge.as_str(), "twice.fedge"]).expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("already fedge"), "{err}");
+        std::fs::remove_file(tsv).ok();
+        std::fs::remove_file(fedge).ok();
+    }
+
+    #[test]
+    fn estimate_on_corrupt_fedge_is_a_typed_error() {
+        let tsv = write_temp("a b\nc d\ne f\n");
+        let p = tsv.to_str().expect("utf8 path");
+        let fedge = format!("{p}.fedge");
+        run_to_string(&["convert", p, &fedge]);
+        // Chop the last record in half.
+        let bytes = std::fs::read(&fedge).expect("read");
+        std::fs::write(&fedge, &bytes[..bytes.len() - 7]).expect("rewrite");
+        let cli = Cli::parse(&["estimate", fedge.as_str()]).expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("truncated fedge record"), "{err}");
+        std::fs::remove_file(tsv).ok();
+        std::fs::remove_file(fedge).ok();
+    }
+
+    #[test]
+    fn nan_estimates_rank_without_panicking() {
+        // Regression: the top-k sort used partial_cmp().expect("finite
+        // estimates") and panicked on NaN from a degenerate estimator
+        // state. total_cmp orders NaN deterministically ahead of finite
+        // values instead.
+        struct Degenerate;
+        impl CardinalityEstimator for Degenerate {
+            fn process(&mut self, _user: u64, _item: u64) {}
+            fn estimate(&self, _user: u64) -> f64 {
+                f64::NAN
+            }
+            fn total_estimate(&self) -> f64 {
+                f64::NAN
+            }
+            fn memory_bits(&self) -> usize {
+                0
+            }
+            fn for_each_estimate(&self, f: &mut dyn FnMut(u64, f64)) {
+                f(1, 2.0);
+                f(2, f64::NAN);
+                f(3, 1.0);
+                f(4, f64::INFINITY);
+            }
+            fn name(&self) -> &'static str {
+                "Degenerate"
+            }
+        }
+        let ranked = rank_users(&Degenerate);
+        assert_eq!(ranked.len(), 4);
+        assert!(
+            ranked[0].1.is_nan(),
+            "NaN first under total_cmp: {ranked:?}"
+        );
+        assert_eq!(ranked[1], (4, f64::INFINITY));
+        assert_eq!(ranked[2], (1, 2.0));
+        assert_eq!(ranked[3], (3, 1.0));
     }
 
     #[test]

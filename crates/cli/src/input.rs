@@ -1,145 +1,187 @@
-//! Edge-file parsing: `user <ws> item` lines, string ids hashed to u64.
+//! Edge-file input for the CLI: on-disk format auto-detection and the
+//! [`open_source`] entry point that hands every command a bounded-memory
+//! [`EdgeSource`] reader.
+//!
+//! The readers themselves live in `graphstream` ([`TsvEdgeSource`] for
+//! text, [`FedgeReader`] for binary) — command paths never materialize a
+//! trace; peak resident edge memory is O(chunk) regardless of file size.
 
-use graphstream::Edge;
-use hashkit::xxhash64;
-use std::io::BufRead;
+use graphstream::fedge::{is_fedge_prefix, FEDGE_HEADER_LEN};
+use graphstream::{EdgeSource, FedgeReader, TsvEdgeSource};
+use std::io::Read;
 
-/// Seed for hashing string identifiers to `u64`. Fixed so that the same
-/// file always produces the same edge stream across runs and machines.
-pub(crate) const ID_SEED: u64 = 0x1D_5EED;
+pub use graphstream::tsv::{parse_edge_line, read_edges};
 
-/// Errors while reading an edge file.
-#[derive(Debug)]
-pub enum EdgeFileError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// A non-comment line did not contain two whitespace-separated fields.
-    Malformed {
-        /// 1-based line number.
-        line: usize,
-        /// The offending content (truncated).
-        content: String,
-    },
+/// Hashes a string identifier into the u64 id space (the fixed-seed
+/// xxhash64 every TSV read uses).
+pub(crate) use graphstream::tsv::hash_id;
+
+/// The two on-disk trace formats the CLI understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputFormat {
+    /// Whitespace-separated `user item` text lines.
+    Tsv,
+    /// The binary `fedge` format (see [`graphstream::fedge`]).
+    Fedge,
 }
 
-impl std::fmt::Display for EdgeFileError {
+impl std::fmt::Display for InputFormat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Io(e) => write!(f, "I/O error: {e}"),
-            Self::Malformed { line, content } => {
-                write!(f, "line {line}: expected `user item`, got `{content}`")
-            }
-        }
+        f.write_str(match self {
+            Self::Tsv => "tsv",
+            Self::Fedge => "fedge",
+        })
     }
 }
 
-impl std::error::Error for EdgeFileError {}
-
-impl From<std::io::Error> for EdgeFileError {
-    fn from(e: std::io::Error) -> Self {
-        Self::Io(e)
-    }
-}
-
-/// Hashes a string identifier into the u64 id space.
-#[must_use]
-pub(crate) fn hash_id(id: &str) -> u64 {
-    xxhash64(ID_SEED, id.as_bytes())
-}
-
-/// Parses one line into an edge; `None` for blanks and `#` comments.
+/// Sniffs a file's format from its header bytes (see
+/// [`is_fedge_prefix`] for the exact rule — a text line that merely
+/// starts with the magic letters stays TSV). Anything that doesn't look
+/// like a `fedge` header is treated as TSV.
 ///
 /// # Errors
-/// [`EdgeFileError::Malformed`] when the line has fewer than two fields.
-pub fn parse_edge_line(line: &str, line_no: usize) -> Result<Option<Edge>, EdgeFileError> {
-    let trimmed = line.trim();
-    if trimmed.is_empty() || trimmed.starts_with('#') {
-        return Ok(None);
-    }
-    let mut fields = trimmed.split_whitespace();
-    let (Some(user), Some(item)) = (fields.next(), fields.next()) else {
-        return Err(EdgeFileError::Malformed {
-            line: line_no,
-            content: trimmed.chars().take(60).collect(),
-        });
-    };
-    Ok(Some(Edge::new(hash_id(user), hash_id(item))))
-}
-
-/// Reads a whole edge file (buffered, one allocation-free line loop).
-///
-/// # Errors
-/// Propagates I/O errors and the first malformed line.
-pub fn read_edges<R: BufRead>(reader: R) -> Result<Vec<Edge>, EdgeFileError> {
-    let mut edges = Vec::new();
-    let mut line = String::new();
-    let mut reader = reader;
-    let mut line_no = 0usize;
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
+/// Propagates open/read failures.
+pub fn detect_format(path: &str) -> std::io::Result<InputFormat> {
+    let mut file = std::fs::File::open(path)?;
+    let mut prefix = [0u8; FEDGE_HEADER_LEN];
+    let mut got = 0usize;
+    while got < prefix.len() {
+        let n = file.read(&mut prefix[got..])?;
+        if n == 0 {
             break;
         }
-        line_no += 1;
-        if let Some(edge) = parse_edge_line(&line, line_no)? {
-            edges.push(edge);
-        }
+        got += n;
     }
-    Ok(edges)
+    Ok(if is_fedge_prefix(&prefix[..got]) {
+        InputFormat::Fedge
+    } else {
+        InputFormat::Tsv
+    })
+}
+
+/// Opens a trace for streaming: picks the format (forced by `--format`,
+/// auto-detected otherwise) and returns the matching bounded-memory
+/// reader.
+///
+/// # Errors
+/// Open failures are reported with the path; a corrupt `fedge` header
+/// surfaces as its typed [`graphstream::FedgeError`].
+pub fn open_source(
+    path: &str,
+    force: Option<InputFormat>,
+) -> Result<(Box<dyn EdgeSource>, InputFormat), Box<dyn std::error::Error>> {
+    let format = match force {
+        Some(f) => f,
+        None => detect_format(path).map_err(|e| format!("cannot open `{path}`: {e}"))?,
+    };
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let source: Box<dyn EdgeSource> = match format {
+        InputFormat::Tsv => Box::new(TsvEdgeSource::new(reader)),
+        InputFormat::Fedge => Box::new(FedgeReader::new(reader)?),
+    };
+    Ok((source, format))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphstream::Edge;
 
-    #[test]
-    fn parses_pairs_and_skips_noise() {
-        let data = "\
-# comment
-10.0.0.1 example.com
-
-10.0.0.1 example.org
-10.0.0.2\texample.com
-";
-        let edges = read_edges(data.as_bytes()).expect("parse");
-        assert_eq!(edges.len(), 3);
-        assert_eq!(edges[0].user, edges[1].user, "same user hashes equally");
-        assert_ne!(edges[0].item, edges[1].item);
-        assert_eq!(edges[0].item, edges[2].item, "same item hashes equally");
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("freesketch-input-{}-{tag}", std::process::id()));
+        p
     }
 
     #[test]
-    fn extra_fields_are_ignored() {
-        let e = parse_edge_line("alice item42 extra stuff", 1)
-            .expect("parse")
-            .expect("edge");
-        assert_eq!(e.user, hash_id("alice"));
-        assert_eq!(e.item, hash_id("item42"));
-    }
+    fn format_detection_and_open() {
+        let tsv = temp_path("detect.tsv");
+        std::fs::write(&tsv, "alice item1\nbob item2\n").expect("write");
+        assert_eq!(
+            detect_format(tsv.to_str().expect("utf8")).expect("detect"),
+            InputFormat::Tsv
+        );
 
-    #[test]
-    fn malformed_line_reports_position() {
-        let err = read_edges("a b\nonly_one_field\n".as_bytes()).unwrap_err();
-        match err {
-            EdgeFileError::Malformed { line, content } => {
-                assert_eq!(line, 2);
-                assert_eq!(content, "only_one_field");
+        let fedge = temp_path("detect.fedge");
+        let mut w = graphstream::FedgeWriter::new(Vec::new()).expect("header");
+        w.write_edge(Edge::new(1, 2)).expect("record");
+        std::fs::write(&fedge, w.finish().expect("flush")).expect("write");
+        assert_eq!(
+            detect_format(fedge.to_str().expect("utf8")).expect("detect"),
+            InputFormat::Fedge
+        );
+
+        // Short and empty files are TSV (and parse to empty streams).
+        let empty = temp_path("detect.empty");
+        std::fs::write(&empty, "").expect("write");
+        assert_eq!(
+            detect_format(empty.to_str().expect("utf8")).expect("detect"),
+            InputFormat::Tsv
+        );
+
+        // A text trace whose first id starts with the magic letters must
+        // stay TSV — the regression the reserved-byte check prevents.
+        let tricky = temp_path("detect.tricky");
+        std::fs::write(&tricky, "FEDGE-host1 item1\nFEDGE-host1 item2\n").expect("write");
+        assert_eq!(
+            detect_format(tricky.to_str().expect("utf8")).expect("detect"),
+            InputFormat::Tsv
+        );
+
+        for (path, want_fmt, want_edges) in [
+            (&tsv, InputFormat::Tsv, 2usize),
+            (&fedge, InputFormat::Fedge, 1),
+            (&empty, InputFormat::Tsv, 0),
+            (&tricky, InputFormat::Tsv, 2),
+        ] {
+            let (mut src, fmt) = open_source(path.to_str().expect("utf8"), None).expect("open");
+            assert_eq!(fmt, want_fmt);
+            let mut buf = Vec::new();
+            let mut total = 0;
+            loop {
+                let n = src.next_chunk(&mut buf, 16).expect("clean");
+                if n == 0 {
+                    break;
+                }
+                total += n;
             }
-            other => panic!("wrong error: {other}"),
+            assert_eq!(total, want_edges, "{path:?}");
+        }
+
+        // Forcing a format overrides detection entirely.
+        let (_, fmt) =
+            open_source(tsv.to_str().expect("utf8"), Some(InputFormat::Tsv)).expect("open");
+        assert_eq!(fmt, InputFormat::Tsv);
+        let Err(err) = open_source(tsv.to_str().expect("utf8"), Some(InputFormat::Fedge)) else {
+            panic!("forcing fedge on a text file must fail in the reader")
+        };
+        assert!(err.to_string().contains("not a fedge file"), "{err}");
+
+        for p in [tsv, fedge, empty, tricky] {
+            std::fs::remove_file(p).ok();
         }
     }
 
     #[test]
-    fn deterministic_hashing() {
-        assert_eq!(hash_id("198.51.100.7"), hash_id("198.51.100.7"));
-        assert_ne!(hash_id("a"), hash_id("b"));
+    fn open_source_missing_file_mentions_path() {
+        let Err(err) = open_source("/definitely/not/here.tsv", None) else {
+            panic!("must fail")
+        };
+        assert!(err.to_string().contains("cannot open"));
+        assert!(err.to_string().contains("/definitely/not/here.tsv"));
     }
 
     #[test]
-    fn empty_input_is_empty_stream() {
-        assert!(read_edges("".as_bytes()).expect("parse").is_empty());
-        assert!(read_edges("# only comments\n".as_bytes())
-            .expect("parse")
-            .is_empty());
+    fn open_source_corrupt_fedge_header_is_typed() {
+        // Correct magic but truncated header: detection says fedge, the
+        // reader then reports the typed truncation instead of panicking.
+        let p = temp_path("corrupt.fedge");
+        std::fs::write(&p, b"FEDG\x01").expect("write");
+        let Err(err) = open_source(p.to_str().expect("utf8"), None) else {
+            panic!("must fail")
+        };
+        assert!(err.to_string().contains("truncated fedge header"), "{err}");
+        std::fs::remove_file(p).ok();
     }
 }

@@ -1,10 +1,15 @@
 //! Library half of the `freesketch` CLI: argument parsing, edge-file
-//! parsing, and the four subcommands, all testable without a process spawn.
+//! input, and the five subcommands, all testable without a process spawn.
 //!
-//! File format: one edge per line, `user <whitespace> item`, `#` comments
-//! and blank lines ignored. Identifiers may be arbitrary strings — they are
-//! hashed to `u64` with xxhash64, so IP addresses, URLs and numeric ids all
-//! work unmodified.
+//! Input formats (auto-detected per file, both streamed chunk-at-a-time in
+//! bounded memory):
+//!
+//! * **TSV** — one edge per line, `user <whitespace> item`, `#` comments
+//!   and blank lines ignored. Identifiers may be arbitrary strings — they
+//!   are hashed to `u64` with xxhash64, so IP addresses, URLs and numeric
+//!   ids all work unmodified ([`graphstream::tsv`] holds the reader).
+//! * **fedge** — the binary format of [`graphstream::fedge`]; the
+//!   `convert` subcommand writes it from TSV.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,4 +20,4 @@ mod input;
 
 pub use args::{Cli, Command, ParseError, USAGE};
 pub use commands::run;
-pub use input::{parse_edge_line, read_edges, EdgeFileError};
+pub use input::{detect_format, open_source, parse_edge_line, read_edges, InputFormat};

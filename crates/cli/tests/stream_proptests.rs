@@ -1,0 +1,83 @@
+//! Property tests for the streaming ingestion pipeline: the TSV↔`fedge`
+//! acceptance bar of the streaming-ingestion issue — a binary re-encode of
+//! a text trace must produce **bit-identical** estimates when replayed
+//! under the same chunk/batch settings.
+
+use freesketch::ingest::stream_into;
+use freesketch::{CardinalityEstimator, FreeBS, FreeRS};
+use graphstream::{FedgeReader, FedgeWriter, TsvEdgeSource};
+use proptest::prelude::*;
+
+/// Renders pairs as the TSV the CLI parses (string ids, so they exercise
+/// the hashing path exactly as a real file would).
+fn to_tsv(pairs: &[(u64, u64)]) -> String {
+    let mut s = String::from("# proptest trace\n");
+    for &(u, d) in pairs {
+        s.push_str(&format!("u{u} d{d}\n"));
+    }
+    s
+}
+
+/// TSV → `fedge` bytes the way `convert` does it: streamed through the
+/// TSV reader into the binary writer, chunk-at-a-time.
+fn convert_to_fedge(tsv: &str, chunk: usize) -> Vec<u8> {
+    let mut src = TsvEdgeSource::new(tsv.as_bytes());
+    let mut writer = FedgeWriter::new(Vec::new()).expect("header");
+    let mut buf = Vec::new();
+    loop {
+        use graphstream::EdgeSource;
+        let n = src.next_chunk(&mut buf, chunk).expect("clean tsv");
+        if n == 0 {
+            break;
+        }
+        writer.write_edges(&buf).expect("records");
+    }
+    writer.finish().expect("flush")
+}
+
+/// Every (user, estimate) pair, sorted — bitwise comparable.
+fn all_estimates(est: &dyn CardinalityEstimator) -> Vec<(u64, u64)> {
+    let mut v = Vec::new();
+    est.for_each_estimate(&mut |u, e| v.push((u, e.to_bits())));
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The same trace read as TSV and as `fedge` yields bit-identical
+    /// per-user estimates (and identical totals) under identical
+    /// chunk/batch replay settings, for both estimators.
+    #[test]
+    fn tsv_and_fedge_estimates_bit_identical(
+        pairs in prop::collection::vec((0u64..60, 0u64..300), 1..800),
+        chunk in 1usize..500,
+        batch_idx in 0usize..4,
+    ) {
+        let batch = [0usize, 1, 64, 8192][batch_idx];
+        let tsv = to_tsv(&pairs);
+        let bytes = convert_to_fedge(&tsv, chunk);
+
+        let mut from_tsv = FreeBS::new(1 << 14, 7);
+        let n_tsv = stream_into(&mut from_tsv, &mut TsvEdgeSource::new(tsv.as_bytes()),
+                                chunk, batch).expect("tsv replay");
+        let mut from_bin = FreeBS::new(1 << 14, 7);
+        let n_bin = stream_into(&mut from_bin, &mut FedgeReader::new(&bytes[..]).expect("header"),
+                                chunk, batch).expect("fedge replay");
+
+        prop_assert_eq!(n_tsv, pairs.len() as u64);
+        prop_assert_eq!(n_bin, n_tsv);
+        prop_assert_eq!(all_estimates(&from_tsv), all_estimates(&from_bin));
+        prop_assert_eq!(from_tsv.total_estimate().to_bits(),
+                        from_bin.total_estimate().to_bits());
+
+        let mut rs_tsv = FreeRS::new(1 << 11, 7);
+        stream_into(&mut rs_tsv, &mut TsvEdgeSource::new(tsv.as_bytes()),
+                    chunk, batch).expect("tsv replay");
+        let mut rs_bin = FreeRS::new(1 << 11, 7);
+        stream_into(&mut rs_bin, &mut FedgeReader::new(&bytes[..]).expect("header"),
+                    chunk, batch).expect("fedge replay");
+        prop_assert_eq!(all_estimates(&rs_tsv), all_estimates(&rs_bin));
+    }
+}

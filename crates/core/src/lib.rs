@@ -70,6 +70,7 @@ mod cse;
 pub mod engine;
 mod freebs;
 mod freers;
+pub mod ingest;
 mod jointlpc;
 mod peruser;
 mod sharded;
@@ -91,6 +92,7 @@ pub use cse::Cse;
 pub use engine::{IncrementalZ, QTracker, SketchEngine, ZeroQ};
 pub use freebs::FreeBS;
 pub use freers::FreeRS;
+pub use ingest::{stream_into, stream_into_parallel};
 pub use jointlpc::JointLpc;
 pub use peruser::{PerUserHllpp, PerUserLpc};
 pub use sharded::{ShardedFreeBS, ShardedFreeRS, ShardedSketch};

@@ -13,18 +13,31 @@
 //! * [`profiles`] — per-dataset generator configurations calibrated to
 //!   Table I of the paper (user count, max cardinality, total cardinality),
 //!   standing in for the CAIDA traces and OSN edge lists we cannot ship
-//!   (substitution documented in DESIGN.md §5).
+//!   (substitution documented in DESIGN.md §5);
+//! * [`fedge`] — the binary on-disk edge format (magic + version header,
+//!   fixed 16-byte LE records) with streaming encoder/decoder;
+//! * [`tsv`] — the streaming text reader (`user <ws> item` lines, string
+//!   ids hashed to `u64` under a fixed seed);
+//! * [`source`] — the [`EdgeSource`] chunk-at-a-time streaming trait, so
+//!   traces far larger than memory flow to the estimators through a
+//!   bounded buffer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fedge;
 pub mod profiles;
+pub mod source;
 pub mod synth;
 mod truth;
+pub mod tsv;
 
+pub use fedge::{FedgeError, FedgeReader, FedgeWriter};
 pub use profiles::{DatasetProfile, PROFILES};
+pub use source::{EdgeSource, EdgeStreamError, SliceSource};
 pub use synth::{SynthConfig, SynthStream};
 pub use truth::GroundTruth;
+pub use tsv::TsvEdgeSource;
 
 /// One stream element `e(t) = (s(t), d(t))`: user `s` connected to item `d`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -14,6 +14,7 @@
 //! * the final edge sequence is **shuffled** with a seeded Fisher–Yates, so
 //!   user activity interleaves over time the way concurrent flows do.
 
+use crate::source::{EdgeSource, EdgeStreamError};
 use crate::Edge;
 use hashkit::{mix64, mix64_pair, SplitMix64};
 
@@ -102,6 +103,7 @@ impl SynthConfig {
             edges,
             distinct_total,
             config: self.clone(),
+            cursor: 0,
         }
     }
 }
@@ -121,6 +123,8 @@ pub struct SynthStream {
     edges: Vec<Edge>,
     distinct_total: u64,
     config: SynthConfig,
+    /// Replay position of the [`EdgeSource`] impl (0 = not yet replayed).
+    cursor: usize,
 }
 
 impl SynthStream {
@@ -160,6 +164,30 @@ impl SynthStream {
     #[must_use]
     pub fn config(&self) -> &SynthConfig {
         &self.config
+    }
+
+    /// Resets the [`EdgeSource`] replay cursor to the stream head, so one
+    /// generated stream can be replayed through a chunked consumer many
+    /// times (benchmark repetitions).
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// In-memory replay through the same chunked interface file readers use,
+/// so harness code is written once against [`EdgeSource`]. Infallible;
+/// [`SynthStream::rewind`] restarts the replay. Delegates to
+/// [`SliceSource`](crate::SliceSource) over the unreplayed tail so the
+/// cursor semantics live in one place.
+impl EdgeSource for SynthStream {
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, max: usize) -> Result<usize, EdgeStreamError> {
+        let n = crate::SliceSource::new(&self.edges[self.cursor..]).next_chunk(buf, max)?;
+        self.cursor += n;
+        Ok(n)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some((self.edges.len() - self.cursor) as u64)
     }
 }
 
@@ -355,6 +383,30 @@ mod tests {
         let mut cfg = SynthConfig::tiny(1);
         cfg.users = 0;
         let _ = cfg.generate();
+    }
+
+    #[test]
+    fn edge_source_replay_matches_edges_and_rewinds() {
+        let mut s = SynthConfig::tiny(21).generate();
+        let expected = s.edges().to_vec();
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        assert_eq!(s.len_hint(), Some(expected.len() as u64));
+        loop {
+            let n = s.next_chunk(&mut buf, 777).expect("infallible");
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf);
+        }
+        assert_eq!(out, expected);
+        assert_eq!(s.len_hint(), Some(0));
+        // Exhausted stays exhausted; rewind restarts.
+        assert_eq!(s.next_chunk(&mut buf, 8).expect("infallible"), 0);
+        s.rewind();
+        let n = s.next_chunk(&mut buf, 8).expect("infallible");
+        assert_eq!(n, 8);
+        assert_eq!(buf[..], expected[..8]);
     }
 
     #[test]

@@ -92,4 +92,67 @@ proptest! {
         let b = mk(seed_b);
         prop_assert_ne!(a1.edges(), b.edges());
     }
+
+    /// fedge encode → decode is the identity on arbitrary edge sequences,
+    /// independent of the reader's chunk size (including chunk 1 and a
+    /// chunk larger than the stream).
+    #[test]
+    fn fedge_roundtrip_any_chunk(pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..400),
+                                 chunk in 1usize..600) {
+        let edges: Vec<Edge> = pairs.iter().map(|&(u, d)| Edge::new(u, d)).collect();
+        let mut w = graphstream::FedgeWriter::new(Vec::new()).expect("header");
+        w.write_edges(&edges).expect("records");
+        prop_assert_eq!(w.records_written(), edges.len() as u64);
+        let bytes = w.finish().expect("flush");
+
+        let mut r = graphstream::FedgeReader::new(&bytes[..]).expect("valid header");
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            let n = r.read_chunk(&mut buf, chunk).expect("clean stream");
+            prop_assert!(n <= chunk);
+            if n == 0 { break; }
+            out.extend_from_slice(&buf);
+        }
+        prop_assert_eq!(&out, &edges);
+        prop_assert_eq!(r.records_read(), edges.len() as u64);
+        // Exhausted stays exhausted.
+        prop_assert_eq!(r.read_chunk(&mut buf, chunk).expect("still clean"), 0);
+    }
+
+    /// Cutting a fedge file anywhere strictly inside a record yields the
+    /// typed truncation error (never a panic, never a silently short
+    /// stream); cuts on record boundaries simply end the stream early.
+    #[test]
+    fn fedge_truncation_always_typed(n_edges in 1usize..60, cut_back in 1usize..40) {
+        let edges: Vec<Edge> = (0..n_edges as u64).map(|i| Edge::new(i, !i)).collect();
+        let mut w = graphstream::FedgeWriter::new(Vec::new()).expect("header");
+        w.write_edges(&edges).expect("records");
+        let bytes = w.finish().expect("flush");
+        let cut = cut_back.min(bytes.len() - 8); // keep the header intact
+        let short = &bytes[..bytes.len() - cut];
+
+        let mut r = graphstream::FedgeReader::new(short).expect("header survives");
+        let mut buf = Vec::new();
+        let mut seen = 0usize;
+        let result = loop {
+            match r.read_chunk(&mut buf, 7) {
+                Ok(0) => break Ok(seen),
+                Ok(n) => seen += n,
+                Err(e) => break Err(e),
+            }
+        };
+        let whole_records = (bytes.len() - 8 - cut) / 16;
+        if cut % 16 == 0 {
+            prop_assert_eq!(result.expect("boundary cut is a clean EOF"), whole_records);
+        } else {
+            match result.expect_err("mid-record cut must error") {
+                graphstream::FedgeError::TruncatedRecord { record, len } => {
+                    prop_assert_eq!(record, whole_records as u64);
+                    prop_assert_eq!(len, (bytes.len() - 8 - cut) % 16);
+                }
+                other => prop_assert!(false, "wrong error: {}", other),
+            }
+        }
+    }
 }

@@ -32,12 +32,37 @@ printf 'alice a\nalice b\nalice b\nbob a\n' > "$tmp/edges.tsv"
 # Sharded parallel ingest drives the same report.
 ./target/release/freesketch estimate "$tmp/edges.tsv" --threads 2 > /dev/null
 
+echo "==> convert -> estimate roundtrip smoke (TSV and fedge must be identical)"
+./target/release/freesketch convert "$tmp/edges.tsv" "$tmp/edges.fedge" > /dev/null
+./target/release/freesketch estimate "$tmp/edges.tsv"   --top 3 > "$tmp/est-tsv.txt"
+./target/release/freesketch estimate "$tmp/edges.fedge" --top 3 > "$tmp/est-fedge.txt"
+diff -u "$tmp/est-tsv.txt" "$tmp/est-fedge.txt" || {
+  echo "fedge estimate differs from TSV estimate"; exit 1;
+}
+
+echo "==> streaming-estimate smoke (multi-chunk file, bounded reader buffer)"
+./target/release/freesketch synth livejournal --scale 4000 --out "$tmp/synth.tsv" > /dev/null
+./target/release/freesketch convert "$tmp/synth.tsv" "$tmp/synth.fedge" > /dev/null
+# --chunk 1024 forces many reader chunks on both formats; the reports must
+# still be identical (chunking never changes what was ingested).
+./target/release/freesketch estimate "$tmp/synth.tsv"   --chunk 1024 > "$tmp/synth-tsv.txt"
+./target/release/freesketch estimate "$tmp/synth.fedge" --chunk 1024 > "$tmp/synth-fedge.txt"
+diff -u "$tmp/synth-tsv.txt" "$tmp/synth-fedge.txt" || {
+  echo "multi-chunk fedge estimate differs from TSV estimate"; exit 1;
+}
+grep -q "edges processed" "$tmp/synth-tsv.txt" || {
+  echo "streaming estimate produced no report"; exit 1;
+}
+
 echo "==> ingest throughput smoke (1M synthetic edges through the batch path)"
 ./target/release/exp_ingest --quick --json --out "$tmp/BENCH_ingest.json" \
   --threads 2 --scaling-out "$tmp/BENCH_scaling.json"
 test -s "$tmp/BENCH_ingest.json" || { echo "exp_ingest wrote no JSON"; exit 1; }
 grep -q '"mode": "batch"' "$tmp/BENCH_ingest.json" || {
   echo "exp_ingest JSON missing batch results"; exit 1;
+}
+grep -q '"mode": "file-fedge"' "$tmp/BENCH_ingest.json" || {
+  echo "exp_ingest JSON missing from-disk results"; exit 1;
 }
 # 2-thread sharded-ingest smoke: the scaling JSON must carry both thread
 # counts for both sharded methods.
