@@ -1,0 +1,289 @@
+//! `analyzer-allow.toml` — the checked-in exception list.
+//!
+//! A tiny hand-parsed TOML subset (the workspace builds offline, so no
+//! `toml` crate): `[[allow]]` tables with string values only, `#`
+//! comments, `\"` and `\\` escapes. Example:
+//!
+//! ```toml
+//! [[allow]]
+//! pass = "lock-discipline"
+//! path = "crates/core/src/window.rs"
+//! pattern = "expect(\"window never empty\")"
+//! reason = "structural invariant: the deque is seeded non-empty and rotate only appends"
+//! ```
+//!
+//! `pass` and `path` select findings (path is a suffix match against the
+//! workspace-relative file); `pattern`, when present, additionally
+//! requires the flagged source line to contain the substring. `reason` is
+//! mandatory — an allowlist without arguments is just a mute button — and
+//! entries that matched nothing are reported as stale, so the file can
+//! only shrink as the code improves.
+
+use crate::{Finding, SourceFile};
+use std::path::Path;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, Default)]
+pub struct Entry {
+    /// Pass name the entry applies to (e.g. `lock-discipline`).
+    pub pass: String,
+    /// Suffix-matched workspace-relative path.
+    pub path: String,
+    /// Optional substring the flagged source line must contain.
+    pub pattern: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// 1-based line of the entry header in the TOML file.
+    pub line: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+    /// Path the list was parsed from (for diagnostics).
+    pub file: String,
+    /// Findings produced while parsing (malformed lines, missing reasons).
+    pub parse_findings: Vec<Finding>,
+}
+
+/// Parses an allowlist file.
+///
+/// # Errors
+/// Propagates the underlying read error; malformed *content* is reported
+/// through [`Allowlist::parse_findings`] instead, so a broken allowlist
+/// fails the gate rather than crashing it.
+pub fn parse_file(path: &Path) -> std::io::Result<Allowlist> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse(&text, &path.to_string_lossy()))
+}
+
+/// Parses allowlist text; `file` is used in diagnostics only.
+#[must_use]
+pub fn parse(text: &str, file: &str) -> Allowlist {
+    let mut list = Allowlist {
+        file: file.to_string(),
+        ..Allowlist::default()
+    };
+    let mut current: Option<Entry> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            list.finish(current.take());
+            current = Some(Entry {
+                line: line_no,
+                ..Entry::default()
+            });
+            continue;
+        }
+        let Some((key, value)) = parse_kv(line) else {
+            list.parse_findings.push(Finding {
+                pass: "allowlist",
+                file: file.to_string(),
+                line: line_no,
+                message: format!("unparsable allowlist line: `{line}`"),
+            });
+            continue;
+        };
+        let Some(entry) = current.as_mut() else {
+            list.parse_findings.push(Finding {
+                pass: "allowlist",
+                file: file.to_string(),
+                line: line_no,
+                message: format!("`{key}` outside an [[allow]] table"),
+            });
+            continue;
+        };
+        match key {
+            "pass" => entry.pass = value,
+            "path" => entry.path = value,
+            "pattern" => entry.pattern = value,
+            "reason" => entry.reason = value,
+            other => list.parse_findings.push(Finding {
+                pass: "allowlist",
+                file: file.to_string(),
+                line: line_no,
+                message: format!("unknown allowlist key `{other}`"),
+            }),
+        }
+    }
+    list.finish(current.take());
+    list
+}
+
+impl Allowlist {
+    /// Validates and appends a finished entry.
+    fn finish(&mut self, entry: Option<Entry>) {
+        let Some(entry) = entry else { return };
+        if entry.reason.trim().is_empty() {
+            self.parse_findings.push(Finding {
+                pass: "allowlist",
+                file: self.file.clone(),
+                line: entry.line,
+                message: format!(
+                    "allowlist entry for `{}` has no reason — every exception must be argued",
+                    entry.path
+                ),
+            });
+            return;
+        }
+        if entry.pass.is_empty() || entry.path.is_empty() {
+            self.parse_findings.push(Finding {
+                pass: "allowlist",
+                file: self.file.clone(),
+                line: entry.line,
+                message: "allowlist entry needs both `pass` and `path`".to_string(),
+            });
+            return;
+        }
+        self.entries.push(entry);
+    }
+
+    /// Filters `findings` through the list: suppressed findings are
+    /// dropped, parse problems and stale (never-matching) entries are
+    /// appended as findings of pass `allowlist`.
+    #[must_use]
+    pub fn apply(&self, findings: Vec<Finding>, sources: &[SourceFile]) -> Vec<Finding> {
+        let mut used = vec![false; self.entries.len()];
+        let mut out = Vec::new();
+        for finding in findings {
+            let line_text = sources
+                .iter()
+                .find(|s| s.rel_path == finding.file)
+                .map_or("", |s| s.line_text(finding.line));
+            let suppressed = self.entries.iter().enumerate().any(|(i, e)| {
+                let hit = e.pass == finding.pass
+                    && finding.file.ends_with(&e.path)
+                    && (e.pattern.is_empty() || line_text.contains(&e.pattern));
+                if hit {
+                    used[i] = true;
+                }
+                hit
+            });
+            if !suppressed {
+                out.push(finding);
+            }
+        }
+        out.extend(self.parse_findings.iter().cloned());
+        for (entry, used) in self.entries.iter().zip(&used) {
+            if !used {
+                out.push(Finding {
+                    pass: "allowlist",
+                    file: self.file.clone(),
+                    line: entry.line,
+                    message: format!(
+                        "stale allowlist entry (pass `{}`, path `{}`): nothing matches it any more — delete it",
+                        entry.pass, entry.path
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Parses `key = "value"` with `\"`/`\\` escapes. Returns `None` when the
+/// line is not of that shape.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    let rest = rest.trim();
+    if !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    let inner = rest.strip_prefix('"')?;
+    let mut value = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some('"') => value.push('"'),
+                Some('\\') => value.push('\\'),
+                Some(other) => {
+                    value.push('\\');
+                    value.push(other);
+                }
+                None => return None,
+            },
+            '"' => {
+                // Closing quote: only trailing comments/whitespace may follow.
+                let tail: String = chars.collect();
+                let tail = tail.trim();
+                if tail.is_empty() || tail.starts_with('#') {
+                    return Some((key, value));
+                }
+                return None;
+            }
+            other => value.push(other),
+        }
+    }
+    None // unterminated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_escapes() {
+        let text = r#"
+# exceptions
+[[allow]]
+pass = "lock-discipline"
+path = "crates/core/src/window.rs"
+pattern = "expect(\"window never empty\")"
+reason = "structural invariant"
+"#;
+        let list = parse(text, "analyzer-allow.toml");
+        assert!(list.parse_findings.is_empty());
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.entries[0].pattern, r#"expect("window never empty")"#);
+    }
+
+    #[test]
+    fn entry_without_reason_is_a_finding() {
+        let text = "[[allow]]\npass = \"x\"\npath = \"y.rs\"\n";
+        let list = parse(text, "a.toml");
+        assert!(list.entries.is_empty());
+        assert_eq!(list.parse_findings.len(), 1);
+        assert!(list.parse_findings[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn stale_entry_is_reported() {
+        let text = "[[allow]]\npass = \"p\"\npath = \"nope.rs\"\nreason = \"r\"\n";
+        let list = parse(text, "a.toml");
+        let out = list.apply(Vec::new(), &[]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn matching_suppresses_and_consumes() {
+        let text =
+            "[[allow]]\npass = \"p\"\npath = \"file.rs\"\nreason = \"because tested elsewhere\"\n";
+        let list = parse(text, "a.toml");
+        let findings = vec![Finding {
+            pass: "p",
+            file: "crates/x/src/file.rs".to_string(),
+            line: 3,
+            message: "m".to_string(),
+        }];
+        let out = list.apply(findings, &[]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn garbage_line_is_a_finding() {
+        let list = parse("[[allow]]\nwat\nreason = \"r\"\n", "a.toml");
+        assert!(list
+            .parse_findings
+            .iter()
+            .any(|f| f.message.contains("unparsable")));
+    }
+}

@@ -1,0 +1,236 @@
+//! # freesketch-analyzer — workspace static-analysis gate
+//!
+//! The anytime property of the concurrent pipeline rests on source-level
+//! invariants the compiler does not check: every atomic ordering choice
+//! must be *argued* (one wrong `Relaxed` silently corrupts estimates
+//! rather than crashing), `parking_lot`'s non-poisoning locks are
+//! load-bearing, library code must not panic on data, and the manual
+//! serde impls behind the checkpoint seam must never drift out of sync
+//! with their structs. This crate audits all four, over every
+//! non-`vendor/` crate, with a hand-rolled lexer (no `syn`; the build is
+//! offline) so string literals and comments can never fool a lint.
+//!
+//! Passes (see [`passes`]):
+//!
+//! * **ordering-audit** — every `Ordering::{Relaxed,Acquire,Release,
+//!   AcqRel,SeqCst}` use site needs an `// ORDERING:` justification
+//!   comment within 3 lines;
+//! * **unsafe-gate** — every first-party crate root carries
+//!   `#![forbid(unsafe_code)]`;
+//! * **lock-discipline** — `std::sync::{Mutex,RwLock}` are banned in
+//!   library code (vendored `parking_lot` only), as are `.unwrap()` /
+//!   `.expect(` / `panic!` outside tests, binaries, and the
+//!   `analyzer-allow.toml` allowlist;
+//! * **serde-sync** — manual `Serialize`/`Deserialize` impls are
+//!   cross-checked against their struct's field list.
+//!
+//! Deliberate exceptions live in `analyzer-allow.toml` at the workspace
+//! root; every entry requires a reason string and stale entries are
+//! themselves findings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod lexer;
+pub mod passes;
+pub mod report;
+
+use std::path::{Path, PathBuf};
+
+/// What kind of target a source file belongs to — decides which passes
+/// apply (test/bench/binary code is exempt from lock-discipline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Library code: all passes apply.
+    Lib,
+    /// Integration tests (`tests/`) — panic freely.
+    Test,
+    /// Benches (`benches/`).
+    Bench,
+    /// Binaries (`src/bin/`, `main.rs`) and `examples/`.
+    Bin,
+}
+
+/// One lexed source file plus everything a pass needs to know about it.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, forward slashes.
+    pub rel_path: String,
+    /// Which target family the file belongs to.
+    pub category: Category,
+    /// Lexer output (scrubbed code view + comment/string tables).
+    pub lexed: lexer::Lexed,
+    /// Original source lines (for allowlist matching and snippets).
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Reads and lexes one file. `rel_path` should use forward slashes.
+    ///
+    /// # Errors
+    /// Propagates the underlying read error.
+    pub fn load(abs: &Path, rel_path: String) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(abs)?;
+        Ok(Self {
+            category: classify(&rel_path),
+            lexed: lexer::lex(&text),
+            lines: text.lines().map(str::to_string).collect(),
+            rel_path,
+        })
+    }
+
+    /// The original text of 1-based `line`, or `""` when out of range.
+    #[must_use]
+    pub fn line_text(&self, line: usize) -> &str {
+        line.checked_sub(1)
+            .and_then(|i| self.lines.get(i))
+            .map_or("", String::as_str)
+    }
+}
+
+/// One diagnostic. Rendered as `file:line: [pass] message` or as JSON.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The pass that produced the finding (e.g. `ordering-audit`).
+    pub pass: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 when the finding is file- or entry-level).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Classifies a workspace-relative path into a [`Category`].
+#[must_use]
+pub fn classify(rel_path: &str) -> Category {
+    let p = rel_path;
+    if p.starts_with("tests/") || p.contains("/tests/") {
+        Category::Test
+    } else if p.contains("/benches/") {
+        Category::Bench
+    } else if p.starts_with("examples/")
+        || p.contains("/examples/")
+        || p.contains("/src/bin/")
+        || p.ends_with("/main.rs")
+    {
+        Category::Bin
+    } else {
+        Category::Lib
+    }
+}
+
+/// Directories never descended into: third-party stand-ins, build output,
+/// VCS metadata, and the analyzer's own deliberately-bad lint fixtures.
+const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
+
+/// Recursively collects workspace `.rs` files (skipping [`SKIP_DIRS`]),
+/// sorted by path for deterministic output.
+///
+/// # Errors
+/// Propagates directory-walk I/O errors.
+pub fn discover_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut |abs, rel| {
+        if rel.ends_with(".rs") {
+            paths.push((abs.to_path_buf(), rel.to_string()));
+        }
+    })?;
+    paths.sort_by(|a, b| a.1.cmp(&b.1));
+    paths
+        .into_iter()
+        .map(|(abs, rel)| SourceFile::load(&abs, rel))
+        .collect()
+}
+
+/// Recursively collects first-party crate manifests (`Cargo.toml` files
+/// declaring a `[package]`), sorted by path.
+///
+/// # Errors
+/// Propagates directory-walk and file-read I/O errors.
+pub fn discover_crates(root: &Path) -> std::io::Result<Vec<CrateManifest>> {
+    let mut found = Vec::new();
+    walk(root, root, &mut |abs, rel| {
+        if rel == "Cargo.toml" || rel.ends_with("/Cargo.toml") {
+            found.push((abs.to_path_buf(), rel.to_string()));
+        }
+    })?;
+    found.sort_by(|a, b| a.1.cmp(&b.1));
+    let mut out = Vec::new();
+    for (abs, rel) in found {
+        let text = std::fs::read_to_string(&abs)?;
+        if !text.lines().any(|l| l.trim() == "[package]") {
+            continue; // virtual manifest
+        }
+        let dir = abs.parent().unwrap_or(root).to_path_buf();
+        let rel_dir = rel.trim_end_matches("Cargo.toml").trim_end_matches('/');
+        out.push(CrateManifest {
+            dir,
+            rel_dir: rel_dir.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// A first-party crate (a directory whose `Cargo.toml` has `[package]`).
+#[derive(Debug)]
+pub struct CrateManifest {
+    /// Absolute crate directory.
+    pub dir: PathBuf,
+    /// Workspace-relative crate directory (`""` for the root package).
+    pub rel_dir: String,
+}
+
+fn walk(root: &Path, dir: &Path, on_file: &mut impl FnMut(&Path, &str)) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, on_file)?;
+        } else if let Ok(rel) = path.strip_prefix(root) {
+            let rel = rel.to_string_lossy().replace('\\', "/");
+            on_file(&path, &rel);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every pass over the workspace at `root` and applies the allowlist.
+/// Returns the surviving findings (empty means the gate passes) and the
+/// number of files scanned.
+///
+/// # Errors
+/// Propagates I/O errors from discovery or allowlist parsing.
+pub fn analyze_workspace(
+    root: &Path,
+    allow_path: Option<&Path>,
+) -> std::io::Result<(Vec<Finding>, usize)> {
+    let sources = discover_sources(root)?;
+    let crates = discover_crates(root)?;
+
+    let mut findings = Vec::new();
+    for src in &sources {
+        findings.extend(passes::ordering::check(src));
+        findings.extend(passes::locks::check(src));
+    }
+    findings.extend(passes::unsafe_gate::check(root, &crates));
+    findings.extend(passes::serde_sync::check(&sources));
+
+    let default_allow = root.join("analyzer-allow.toml");
+    let allow_path = allow_path.unwrap_or(&default_allow);
+    let allowlist = if allow_path.exists() {
+        allow::parse_file(allow_path)?
+    } else {
+        allow::Allowlist::default()
+    };
+    let findings = allowlist.apply(findings, &sources);
+
+    Ok((findings, sources.len()))
+}

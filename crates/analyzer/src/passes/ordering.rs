@@ -1,0 +1,172 @@
+//! **ordering-audit** — every atomic ordering choice must be argued.
+//!
+//! A `Relaxed` that should have been `Release` does not crash: it silently
+//! skews estimates, which in an approximate-counting codebase is the worst
+//! possible failure mode (wrong numbers that look right). So every use of
+//! `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}` must carry a
+//! justification comment containing `ORDERING:` — stating the
+//! happens-before edge it provides, or why none is needed — ending within
+//! 3 lines above the use site (or trailing on the same line). Consecutive
+//! `//` lines count as one comment block, so a multi-line argument only
+//! needs its *block* to end close to the site.
+
+use crate::lexer::Comment;
+use crate::{Finding, SourceFile};
+
+/// The five memory orderings of `std::sync::atomic::Ordering`.
+const VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// How many lines above the use site a justification block may end.
+const WINDOW: usize = 3;
+
+/// Runs the pass over one file.
+#[must_use]
+pub fn check(src: &SourceFile) -> Vec<Finding> {
+    let blocks = coalesce(&src.lexed.comments);
+    let mut findings = Vec::new();
+    for (idx, line) in src.lexed.scrubbed.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut from = 0;
+        while let Some(pos) = line[from..].find("Ordering::") {
+            let at = from + pos;
+            let rest = &line[at + "Ordering::".len()..];
+            from = at + "Ordering::".len();
+            let Some(variant) = VARIANTS
+                .iter()
+                .find(|v| rest.starts_with(**v) && !continues_ident(rest, v.len()))
+            else {
+                continue;
+            };
+            if !justified(&blocks, line_no) {
+                findings.push(Finding {
+                    pass: "ordering-audit",
+                    file: src.rel_path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "Ordering::{variant} without justification — add an `// ORDERING:` \
+                         comment ending within {WINDOW} lines above stating the happens-before \
+                         edge (or why none is needed)"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn continues_ident(rest: &str, len: usize) -> bool {
+    rest.as_bytes()
+        .get(len)
+        .is_some_and(|&b| super::is_ident(b))
+}
+
+/// A comment block: consecutive comment lines merged.
+struct Block {
+    end_line: usize,
+    has_marker: bool,
+}
+
+fn coalesce(comments: &[Comment]) -> Vec<Block> {
+    let mut blocks: Vec<Block> = Vec::new();
+    for c in comments {
+        let marker = c.text.contains("ORDERING:");
+        match blocks.last_mut() {
+            Some(last) if c.line <= last.end_line + 1 => {
+                last.end_line = last.end_line.max(c.end_line);
+                last.has_marker |= marker;
+            }
+            _ => blocks.push(Block {
+                end_line: c.end_line,
+                has_marker: marker,
+            }),
+        }
+    }
+    blocks
+}
+
+fn justified(blocks: &[Block], site_line: usize) -> bool {
+    blocks
+        .iter()
+        .any(|b| b.has_marker && b.end_line <= site_line && site_line - b.end_line <= WINDOW)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{classify, lexer::lex, SourceFile};
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel_path: "crates/x/src/lib.rs".to_string(),
+            category: classify("crates/x/src/lib.rs"),
+            lexed: lex(src),
+            lines: src.lines().map(str::to_string).collect(),
+        }
+    }
+
+    #[test]
+    fn bare_ordering_fires() {
+        let f = file("let v = a.load(Ordering::Relaxed);\n");
+        let findings = check(&f);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("Relaxed"));
+    }
+
+    #[test]
+    fn justified_ordering_passes() {
+        let f = file(
+            "// ORDERING: Relaxed — monotone counter, read at quiescence only.\nlet v = a.load(Ordering::Relaxed);\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn trailing_comment_on_same_line_counts() {
+        let f = file("a.store(1, Ordering::Release); // ORDERING: publishes the init above\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn multiline_block_justifies_when_it_ends_close() {
+        let f = file(
+            "// ORDERING: Relaxed is enough here because the per-word RMW\n// total order picks a unique winner and the flipped bit\n// publishes no other memory to its observers.\nlet w = a.fetch_or(m, Ordering::Relaxed);\n",
+        );
+        assert!(check(&f).is_empty(), "block ends 1 line above the site");
+    }
+
+    #[test]
+    fn too_far_away_fires() {
+        let f = file(
+            "// ORDERING: stale justification\nlet a = 1;\nlet b = 2;\nlet c = 3;\nlet d = 4;\nlet v = x.load(Ordering::Acquire);\n",
+        );
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn comment_below_does_not_count() {
+        let f = file("let v = x.load(Ordering::SeqCst);\n// ORDERING: after the fact\n");
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn ordering_in_string_or_comment_is_ignored() {
+        let f = file(
+            "let s = \"Ordering::Relaxed\";\n// mentions Ordering::SeqCst in prose\nlet r = r#\"Ordering::AcqRel\"#;\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn two_sites_same_line_need_one_comment() {
+        let f = file(
+            "// ORDERING: Relaxed CAS both ways — retry loop carries no payload.\nlet r = s.compare_exchange(a, b, Ordering::Relaxed, Ordering::Relaxed);\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn each_unjustified_site_reported() {
+        let f = file("s.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire);\n");
+        assert_eq!(check(&f).len(), 2);
+    }
+}

@@ -1,0 +1,465 @@
+//! **serde-sync** — manual serde impls must match their structs.
+//!
+//! The vendored serde stand-in cannot derive for generic types, so the
+//! engine's checkpoint seam is hand-written: `Serialize` renders a
+//! `Value::Map` of `("field".to_string(), …)` pairs and `Deserialize`
+//! rebuilds through `serde::map_field(map, "field")`. Nothing ties those
+//! string keys to the struct definition — add a field and forget one impl
+//! and checkpoints silently lose state. This pass extracts, per manual
+//! impl, the set of field-key string literals (the `"…".to_string()` and
+//! `map_field(…, "…")` idioms) and cross-checks it against the struct's
+//! field list: any field present in one but not the other is a finding.
+//!
+//! Tuple structs and impls for types whose definition is not in the
+//! workspace are skipped; unit structs must use zero keys.
+
+use crate::{Finding, SourceFile};
+use std::collections::{BTreeSet, HashMap};
+
+/// Runs the pass over the whole workspace (struct definitions and impls
+/// may live in different files).
+#[must_use]
+pub fn check(sources: &[SourceFile]) -> Vec<Finding> {
+    let mut structs: HashMap<String, Vec<StructDef>> = HashMap::new();
+    for src in sources {
+        for def in parse_structs(src) {
+            structs.entry(def.name.clone()).or_default().push(def);
+        }
+    }
+
+    let mut findings = Vec::new();
+    for src in sources {
+        for im in parse_impls(src) {
+            let Some(def) = resolve(&structs, &im.target, &src.rel_path) else {
+                continue;
+            };
+            let Fields::Named(fields) = &def.fields else {
+                continue; // tuple structs have no field keys to check
+            };
+            let keys = match im.kind {
+                Kind::Serialize => serialize_keys(src, im.start, im.end),
+                Kind::Deserialize => deserialize_keys(src, im.start, im.end),
+            };
+            let field_set: BTreeSet<&str> = fields.iter().map(String::as_str).collect();
+            let key_set: BTreeSet<&str> = keys.iter().map(String::as_str).collect();
+            let impl_name = match im.kind {
+                Kind::Serialize => "Serialize",
+                Kind::Deserialize => "Deserialize",
+            };
+            for missing in field_set.difference(&key_set) {
+                findings.push(Finding {
+                    pass: "serde-sync",
+                    file: src.rel_path.clone(),
+                    line: im.line,
+                    message: format!(
+                        "manual {impl_name} impl for `{}` does not handle field `{missing}` \
+                         (declared in {}) — checkpoints would silently drop it",
+                        im.target, def.file
+                    ),
+                });
+            }
+            for extra in key_set.difference(&field_set) {
+                findings.push(Finding {
+                    pass: "serde-sync",
+                    file: src.rel_path.clone(),
+                    line: im.line,
+                    message: format!(
+                        "manual {impl_name} impl for `{}` uses key `{extra}` which is not a \
+                         field of the struct (declared in {})",
+                        im.target, def.file
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// A struct definition found in the workspace.
+#[derive(Debug)]
+struct StructDef {
+    name: String,
+    file: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Serialize,
+    Deserialize,
+}
+
+/// A manual serde impl: byte span `[start, end)` in the scrubbed text.
+#[derive(Debug)]
+struct ManualImpl {
+    kind: Kind,
+    target: String,
+    line: usize,
+    start: usize,
+    end: usize,
+}
+
+fn resolve<'a>(
+    structs: &'a HashMap<String, Vec<StructDef>>,
+    name: &str,
+    impl_file: &str,
+) -> Option<&'a StructDef> {
+    let defs = structs.get(name)?;
+    defs.iter()
+        .find(|d| d.file == impl_file)
+        .or_else(|| (defs.len() == 1).then(|| &defs[0]))
+}
+
+fn parse_structs(src: &SourceFile) -> Vec<StructDef> {
+    let s = &src.lexed.scrubbed;
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    for at in super::word_occurrences(s, "struct") {
+        let mut i = super::skip_ws(bytes, at + "struct".len());
+        let name = read_ident(s, i);
+        if name.is_empty() {
+            continue;
+        }
+        i += name.len();
+        i = skip_generics(bytes, super::skip_ws(bytes, i));
+        // Scan past an optional where clause to the body opener.
+        let Some((opener, body)) = find_body(bytes, i) else {
+            continue;
+        };
+        let fields = match opener {
+            b';' => Fields::Named(Vec::new()), // unit struct
+            b'(' => Fields::Tuple,
+            _ => Fields::Named(parse_named_fields(s, body)),
+        };
+        out.push(StructDef {
+            name,
+            file: src.rel_path.clone(),
+            fields,
+        });
+    }
+    out
+}
+
+/// From `i`, finds the struct body opener (`{`, `(`, or `;`) at depth 0,
+/// returning it and its offset.
+fn find_body(bytes: &[u8], mut i: usize) -> Option<(u8, usize)> {
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' if angle > 0 => paren += 1,
+            b')' if angle > 0 => paren -= 1,
+            b'<' => angle += 1,
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {} // `->` in a bound
+            b'>' if angle > 0 => angle -= 1,
+            b'{' | b'(' | b';' if paren == 0 && angle == 0 => return Some((bytes[i], i)),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Field names of a named-struct body whose `{` is at `open`.
+fn parse_named_fields(s: &str, open: usize) -> Vec<String> {
+    let bytes = s.as_bytes();
+    let end = super::match_delim(bytes, open);
+    let body = &s[open + 1..end.saturating_sub(1)];
+    split_top_level(body)
+        .into_iter()
+        .filter_map(|decl| {
+            // Strip attributes and visibility, then take `ident :`.
+            let b = decl.as_bytes();
+            let mut i = super::skip_ws(b, 0);
+            while b.get(i) == Some(&b'#') && b.get(i + 1) == Some(&b'[') {
+                i = super::skip_ws(b, super::match_delim(b, i + 1));
+            }
+            if decl[i..].starts_with("pub") {
+                i += 3;
+                i = super::skip_ws(b, i);
+                if b.get(i) == Some(&b'(') {
+                    i = super::skip_ws(b, super::match_delim(b, i));
+                }
+            }
+            let name = read_ident(&decl, i);
+            let after = super::skip_ws(b, i + name.len());
+            (!name.is_empty() && b.get(after) == Some(&b':')).then_some(name)
+        })
+        .collect()
+}
+
+/// Splits `body` on commas at zero paren/bracket/angle depth.
+fn split_top_level(body: &str) -> Vec<String> {
+    let bytes = body.as_bytes();
+    let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+    let mut parts = Vec::new();
+    let mut start = 0;
+    for (i, &c) in bytes.iter().enumerate() {
+        match c {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'<' => angle += 1,
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {} // `->` arrow
+            b'>' if angle > 0 => angle -= 1,
+            b',' if paren == 0 && bracket == 0 && angle == 0 => {
+                parts.push(body[start..i].to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < body.len() {
+        parts.push(body[start..].to_string());
+    }
+    parts
+}
+
+fn read_ident(s: &str, i: usize) -> String {
+    s[i..]
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect()
+}
+
+fn parse_impls(src: &SourceFile) -> Vec<ManualImpl> {
+    let s = &src.lexed.scrubbed;
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    for at in super::word_occurrences(s, "impl") {
+        let mut i = super::skip_ws(bytes, at + "impl".len());
+        if bytes.get(i) == Some(&b'<') {
+            i = skip_generics(bytes, i);
+        }
+        // The trait path sits between here and ` for `; without a `for`
+        // before the body opens, this is an inherent impl.
+        let Some(body_open) = s[i..].find('{').map(|p| i + p) else {
+            continue;
+        };
+        let Some(for_at) = super::word_occurrences(&s[i..body_open], "for")
+            .first()
+            .map(|p| i + p)
+        else {
+            continue;
+        };
+        let trait_part = &s[i..for_at];
+        let kind = if !super::word_occurrences(trait_part, "Serialize").is_empty() {
+            Kind::Serialize
+        } else if !super::word_occurrences(trait_part, "Deserialize").is_empty() {
+            Kind::Deserialize
+        } else {
+            continue;
+        };
+        let mut j = super::skip_ws(bytes, for_at + "for".len());
+        let mut target = String::new();
+        loop {
+            let seg = read_ident(s, j);
+            if seg.is_empty() {
+                break;
+            }
+            j += seg.len();
+            target = seg;
+            if s[j..].starts_with("::") {
+                j += 2;
+            } else {
+                break;
+            }
+        }
+        if target.is_empty() {
+            continue;
+        }
+        let end = super::match_delim(bytes, body_open);
+        out.push(ManualImpl {
+            kind,
+            target,
+            line: src.lexed.line_of(at),
+            start: body_open,
+            end,
+        });
+    }
+    out
+}
+
+/// Skips a `<…>` group starting at `i` (angle-matched, `->` aware).
+fn skip_generics(bytes: &[u8], i: usize) -> usize {
+    if bytes.get(i) != Some(&b'<') {
+        return i;
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'<' => depth += 1,
+            b'>' if j > 0 && bytes[j - 1] == b'-' => {}
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    bytes.len()
+}
+
+/// Keys of a manual `Serialize` impl: string literals immediately followed
+/// by `.to_string()` — the `("field".to_string(), value)` map-pair idiom.
+fn serialize_keys(src: &SourceFile, start: usize, end: usize) -> Vec<String> {
+    let s = &src.lexed.scrubbed;
+    let bytes = s.as_bytes();
+    src.lexed
+        .strings
+        .iter()
+        .filter(|lit| lit.start >= start && lit.end <= end)
+        .filter(|lit| {
+            let after = super::skip_ws(bytes, lit.end);
+            s[after..].starts_with(".to_string()")
+        })
+        .map(|lit| lit.value.clone())
+        .collect()
+}
+
+/// Keys of a manual `Deserialize` impl: the first string literal after
+/// each `map_field` call (before the next one).
+fn deserialize_keys(src: &SourceFile, start: usize, end: usize) -> Vec<String> {
+    let s = &src.lexed.scrubbed;
+    let calls: Vec<usize> = super::word_occurrences(&s[start..end], "map_field")
+        .into_iter()
+        .map(|p| start + p)
+        .collect();
+    let mut keys = Vec::new();
+    for (idx, &call) in calls.iter().enumerate() {
+        let limit = calls.get(idx + 1).copied().unwrap_or(end);
+        if let Some(lit) = src
+            .lexed
+            .strings
+            .iter()
+            .find(|lit| lit.start > call && lit.start < limit)
+        {
+            keys.push(lit.value.clone());
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{classify, lexer::lex};
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel_path: "crates/x/src/lib.rs".to_string(),
+            category: classify("crates/x/src/lib.rs"),
+            lexed: lex(src),
+            lines: src.lines().map(str::to_string).collect(),
+        }
+    }
+
+    const GOOD: &str = r#"
+pub struct Engine<S> {
+    store: S,
+    total: f64,
+}
+
+impl<S: serde::Serialize> serde::Serialize for Engine<S> {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("store".to_string(), self.store.serialize_value()),
+            ("total".to_string(), self.total.serialize_value()),
+        ])
+    }
+}
+
+impl<S: serde::Deserialize> serde::Deserialize for Engine<S> {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v.as_map().ok_or_else(|| serde::Error::custom("expected Engine map"))?;
+        Ok(Self {
+            store: S::deserialize_value(serde::map_field(map, "store")?)?,
+            total: f64::deserialize_value(serde::map_field(map, "total")?)?,
+        })
+    }
+}
+"#;
+
+    #[test]
+    fn matching_impls_pass() {
+        assert!(check(&[file(GOOD)]).is_empty());
+    }
+
+    #[test]
+    fn missing_serialize_key_fires() {
+        let src = GOOD.replace("(\"total\".to_string(), self.total.serialize_value()),", "");
+        let findings = check(&[file(&src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`total`"));
+        assert!(findings[0].message.contains("Serialize"));
+    }
+
+    #[test]
+    fn missing_deserialize_key_fires() {
+        let src = GOOD.replace(
+            "total: f64::deserialize_value(serde::map_field(map, \"total\")?)?,",
+            "total: 0.0,",
+        );
+        let findings = check(&[file(&src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("Deserialize"));
+    }
+
+    #[test]
+    fn extra_key_fires() {
+        let src = GOOD.replace(
+            "(\"total\".to_string(), self.total.serialize_value()),",
+            "(\"total\".to_string(), self.total.serialize_value()),\n            (\"legacy\".to_string(), serde::Value::Null),",
+        );
+        let findings = check(&[file(&src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`legacy`"));
+    }
+
+    #[test]
+    fn unit_struct_with_no_keys_passes() {
+        let src = "pub struct Marker;\nimpl serde::Serialize for Marker {\n    fn serialize_value(&self) -> serde::Value { serde::Value::Null }\n}\n";
+        assert!(check(&[file(src)]).is_empty());
+    }
+
+    #[test]
+    fn error_message_literals_are_not_keys() {
+        // "expected Engine map" inside Error::custom must not count as a
+        // field key (it is neither `.to_string()`-ed nor a map_field arg).
+        assert!(check(&[file(GOOD)]).is_empty());
+    }
+
+    #[test]
+    fn unknown_target_is_skipped() {
+        let src = "impl serde::Serialize for External {\n    fn serialize_value(&self) -> serde::Value { serde::Value::Null }\n}\n";
+        assert!(check(&[file(src)]).is_empty());
+    }
+
+    #[test]
+    fn derive_attribute_is_not_a_manual_impl() {
+        let src = "#[derive(serde::Serialize, serde::Deserialize)]\npub struct D { x: u64 }\n";
+        assert!(check(&[file(src)]).is_empty());
+    }
+
+    #[test]
+    fn struct_with_fn_trait_field_parses() {
+        let src = "pub struct W<E> {\n    factory: Box<dyn Fn(u64) -> E + Send + Sync>,\n    max: usize,\n}\n";
+        let defs = parse_structs(&file(src));
+        assert_eq!(defs.len(), 1);
+        match &defs[0].fields {
+            Fields::Named(f) => assert_eq!(f, &["factory".to_string(), "max".to_string()]),
+            Fields::Tuple => panic!("not a tuple struct"),
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! **unsafe-gate** — every first-party crate root forbids `unsafe`.
+//!
+//! The whole workspace is written without `unsafe` (even the software
+//! prefetch is a `black_box` fold, not an intrinsic). That property is
+//! only durable if every crate root says so: `#![forbid(unsafe_code)]`
+//! cannot be overridden by an inner `#[allow]`, unlike the
+//! `[workspace.lints]` inheritance it complements (which a crate could
+//! silently opt out of by dropping `[lints] workspace = true`). The gate
+//! checks the attribute is literally present in each crate's root source
+//! file (`src/lib.rs`, falling back to `src/main.rs`).
+
+use crate::{CrateManifest, Finding};
+use std::path::Path;
+
+/// Runs the pass over every discovered first-party crate.
+#[must_use]
+pub fn check(root: &Path, crates: &[CrateManifest]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for c in crates {
+        let (rel_root, abs) = ["src/lib.rs", "src/main.rs"]
+            .iter()
+            .map(|cand| {
+                let rel = if c.rel_dir.is_empty() {
+                    (*cand).to_string()
+                } else {
+                    format!("{}/{cand}", c.rel_dir)
+                };
+                let abs = c.dir.join(cand);
+                (rel, abs)
+            })
+            .find(|(_, abs)| abs.exists())
+            .unwrap_or_else(|| {
+                let rel = if c.rel_dir.is_empty() {
+                    "src/lib.rs".to_string()
+                } else {
+                    format!("{}/src/lib.rs", c.rel_dir)
+                };
+                (rel.clone(), root.join(rel))
+            });
+        let Ok(text) = std::fs::read_to_string(&abs) else {
+            findings.push(Finding {
+                pass: "unsafe-gate",
+                file: rel_root,
+                line: 0,
+                message: "crate has no readable root source file".to_string(),
+            });
+            continue;
+        };
+        let lexed = crate::lexer::lex(&text);
+        if !lexed.scrubbed.contains("#![forbid(unsafe_code)]") {
+            findings.push(Finding {
+                pass: "unsafe-gate",
+                file: rel_root,
+                line: 1,
+                message: "crate root must carry #![forbid(unsafe_code)] — the workspace is \
+                          unsafe-free by construction and forbid cannot be locally overridden"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_crate(dir: &Path, root_file: &str, content: &str) -> CrateManifest {
+        let src = dir.join("src");
+        std::fs::create_dir_all(&src).expect("mkdir");
+        std::fs::write(src.join(root_file), content).expect("write");
+        CrateManifest {
+            dir: dir.to_path_buf(),
+            rel_dir: "crates/fake".to_string(),
+        }
+    }
+
+    #[test]
+    fn missing_forbid_fires_and_present_passes() {
+        let tmp = std::env::temp_dir().join(format!("analyzer-gate-{}", std::process::id()));
+        let bad_dir = tmp.join("bad");
+        let good_dir = tmp.join("good");
+        let bad = fake_crate(&bad_dir, "lib.rs", "//! no gate here\npub fn f() {}\n");
+        let good = fake_crate(
+            &good_dir,
+            "lib.rs",
+            "//! gated\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        let findings = check(&tmp, &[bad, good]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("forbid(unsafe_code)"));
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn attribute_inside_comment_does_not_count() {
+        let tmp = std::env::temp_dir().join(format!("analyzer-gate2-{}", std::process::id()));
+        let dir = tmp.join("sneaky");
+        let sneaky = fake_crate(
+            &dir,
+            "lib.rs",
+            "// #![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        let findings = check(&tmp, &[sneaky]);
+        assert_eq!(findings.len(), 1);
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

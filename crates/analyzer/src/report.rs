@@ -1,0 +1,114 @@
+//! Rendering findings — human `file:line: [pass] message` lines and a
+//! hand-rolled JSON array (the workspace builds offline; no serde here,
+//! and depending on the crate under audit would be circular anyway).
+
+use crate::Finding;
+use std::fmt::Write as _;
+
+/// Renders findings as human-readable diagnostics, one per line, sorted
+/// by file then line, followed by a summary line.
+#[must_use]
+pub fn human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    let mut out = String::new();
+    for f in &sorted {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.pass, f.message);
+    }
+    if findings.is_empty() {
+        let _ = writeln!(out, "analyzer: {files_scanned} files scanned, no findings");
+    } else {
+        let _ = writeln!(
+            out,
+            "analyzer: {files_scanned} files scanned, {} finding(s)",
+            findings.len()
+        );
+    }
+    out
+}
+
+/// Renders findings as a JSON document:
+/// `{"files_scanned": N, "findings": [{"pass", "file", "line", "message"}]}`.
+#[must_use]
+pub fn json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    let mut out = String::new();
+    let _ = write!(out, "{{\"files_scanned\":{files_scanned},\"findings\":[");
+    for (i, f) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"pass\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            escape(f.pass),
+            escape(&f.file),
+            f.line,
+            escape(&f.message)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// JSON string escaping (quotes, backslash, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            pass: "ordering-audit",
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "needs an \"ORDERING:\" comment".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_format_is_file_line_pass() {
+        let out = human(&[finding()], 3);
+        assert!(out.starts_with("crates/x/src/lib.rs:7: [ordering-audit] "));
+        assert!(out.contains("3 files scanned, 1 finding(s)"));
+    }
+
+    #[test]
+    fn clean_run_summary() {
+        let out = human(&[], 42);
+        assert_eq!(out, "analyzer: 42 files scanned, no findings\n");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let out = json(&[finding()], 3);
+        assert!(out.contains("\\\"ORDERING:\\\""));
+        assert!(out.starts_with("{\"files_scanned\":3,"));
+        assert!(out.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn json_empty_findings() {
+        assert_eq!(json(&[], 5), "{\"files_scanned\":5,\"findings\":[]}\n");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture crate root: unsafe-gate must fire — the attribute only appears
+//! in a comment, which the lexer scrubs.
+// #![forbid(unsafe_code)]
+
+pub fn f() -> u32 {
+    1
+}

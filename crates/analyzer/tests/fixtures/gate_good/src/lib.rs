@@ -1,0 +1,6 @@
+//! Fixture crate root: unsafe-gate must stay silent.
+#![forbid(unsafe_code)]
+
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,37 @@
+// Fixture: lock-discipline must fire — std lock plus panicking calls in
+// library code outside any test module.
+use std::sync::Mutex;
+use std::sync::{atomic::AtomicU64, RwLock};
+
+pub struct Registry {
+    inner: std::sync::Mutex<Vec<u64>>,
+    gauge: AtomicU64,
+    index: RwLock<Vec<usize>>,
+}
+
+pub fn lookup(values: &[u64], i: usize) -> u64 {
+    let guarded: &Mutex<Vec<u64>> = &Registry::default().inner;
+    let _ = guarded;
+    *values.get(i).unwrap()
+}
+
+pub fn parse(text: &str) -> u64 {
+    text.parse().expect("numeric input")
+}
+
+pub fn unreachable_branch(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => panic!("impossible input"),
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            inner: std::sync::Mutex::new(Vec::new()),
+            gauge: AtomicU64::new(0),
+            index: RwLock::new(Vec::new()),
+        }
+    }
+}

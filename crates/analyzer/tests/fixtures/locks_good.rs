@@ -1,0 +1,36 @@
+// Fixture: lock-discipline must stay silent — parking_lot locks, Result
+// propagation, and panics confined to the test module.
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::AtomicU64;
+
+pub struct Registry {
+    inner: Mutex<Vec<u64>>,
+    gauge: AtomicU64,
+    index: RwLock<Vec<usize>>,
+}
+
+pub fn lookup(values: &[u64], i: usize) -> Option<u64> {
+    values.get(i).copied()
+}
+
+pub fn parse(text: &str) -> Result<u64, std::num::ParseIntError> {
+    text.parse()
+}
+
+pub fn describe() -> &'static str {
+    // Mentions of std::sync::Mutex, .unwrap() and panic! in comments and
+    // strings must not trip the lint:
+    "never call .unwrap() or panic!(...) on user data"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Vec<u64> = vec![1];
+        assert_eq!(v.first().copied().unwrap(), 1);
+        if v.is_empty() {
+            panic!("tests may panic");
+        }
+    }
+}

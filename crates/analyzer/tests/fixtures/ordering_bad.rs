@@ -1,0 +1,15 @@
+// Fixture: ordering-audit must fire — no ORDERING: justification in range.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // This comment is not a justification.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicU64) {
+    // ORDERING: this block is too far away from the site to count.
+    let _ = 1;
+    let _ = 2;
+    let _ = 3;
+    flag.store(1, Ordering::Release);
+}

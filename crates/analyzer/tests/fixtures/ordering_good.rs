@@ -1,0 +1,22 @@
+// Fixture: ordering-audit must stay silent — every site is justified.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // ORDERING: Relaxed — advisory monotone counter, exact only at
+    // quiescence where thread join provides the happens-before edge.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Release); // ORDERING: publishes the init above
+}
+
+pub fn cas(slot: &AtomicU64) {
+    // ORDERING: Relaxed/Relaxed — retry loop carries no payload; the RMW
+    // total order alone picks the winner.
+    let _ = slot.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+}
+
+pub fn in_string() -> &'static str {
+    "Ordering::SeqCst inside a string literal must not trip the lint"
+}

@@ -1,0 +1,27 @@
+// Fixture: serde-sync must fire — the manual impls drift from the struct:
+// Serialize forgets `total`, Deserialize uses a key that is not a field.
+pub struct Checkpoint {
+    store: Vec<u8>,
+    total: f64,
+}
+
+impl serde::Serialize for Checkpoint {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![(
+            "store".to_string(),
+            self.store.serialize_value(),
+        )])
+    }
+}
+
+impl serde::Deserialize for Checkpoint {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected Checkpoint map"))?;
+        Ok(Self {
+            store: Vec::deserialize_value(serde::map_field(map, "store")?)?,
+            total: f64::deserialize_value(serde::map_field(map, "legacy_total")?)?,
+        })
+    }
+}

@@ -1,0 +1,27 @@
+// Fixture: serde-sync must stay silent — both impls cover exactly the
+// struct's fields, and the Error::custom literal is not mistaken for a key.
+pub struct Checkpoint {
+    store: Vec<u8>,
+    total: f64,
+}
+
+impl serde::Serialize for Checkpoint {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("store".to_string(), self.store.serialize_value()),
+            ("total".to_string(), self.total.serialize_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Checkpoint {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected Checkpoint map"))?;
+        Ok(Self {
+            store: Vec::deserialize_value(serde::map_field(map, "store")?)?,
+            total: f64::deserialize_value(serde::map_field(map, "total")?)?,
+        })
+    }
+}

@@ -51,6 +51,9 @@ impl AtomicBitArray {
     /// Current zero-bit count. Exact when no writes are in flight.
     #[must_use]
     pub fn zeros(&self) -> usize {
+        // ORDERING: Relaxed — advisory monotone counter; callers that need
+        // an exact value read at quiescence, where thread-join already
+        // provides the happens-before edge.
         self.zeros.load(Ordering::Relaxed)
     }
 
@@ -62,6 +65,9 @@ impl AtomicBitArray {
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        // ORDERING: Relaxed — a set bit carries no payload to synchronize
+        // with: observing it early or late only shifts *when* an estimate
+        // updates, never its correctness (monotone 0→1 writes).
         (self.words[i >> 6].load(Ordering::Relaxed) >> (i & 63)) & 1 == 1
     }
 
@@ -74,9 +80,14 @@ impl AtomicBitArray {
     pub fn set(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let mask = 1u64 << (i & 63);
+        // ORDERING: Relaxed — the per-word RMW total order alone picks a
+        // unique winner for each bit; no other memory is published, so no
+        // release edge is needed.
         let prev = self.words[i >> 6].fetch_or(mask, Ordering::Relaxed);
         let fresh = prev & mask == 0;
         if fresh {
+            // ORDERING: Relaxed — counter decrement rides the same RMW
+            // total order; readers treat it as advisory (see zeros()).
             self.zeros.fetch_sub(1, Ordering::Relaxed);
         }
         fresh
@@ -94,6 +105,8 @@ impl AtomicBitArray {
     #[must_use]
     pub fn warm(&self, i: usize) -> u64 {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        // ORDERING: Relaxed — the value is discarded (cache-warming only);
+        // any ordering stronger than Relaxed would just slow the prefetch.
         self.words[i >> 6].load(Ordering::Relaxed)
     }
 
@@ -103,6 +116,8 @@ impl AtomicBitArray {
         let ones: u32 = self
             .words
             .iter()
+            // ORDERING: Relaxed — documented quiescent-only API; the caller's
+            // thread join supplies the happens-before edge for exactness.
             .map(|w| w.load(Ordering::Relaxed).count_ones())
             .sum();
         self.len - ones as usize
@@ -113,6 +128,9 @@ impl AtomicBitArray {
     pub fn snapshot(&self) -> crate::BitArray {
         let mut b = crate::BitArray::new(self.len);
         for (wi, w) in self.words.iter().enumerate() {
+            // ORDERING: Relaxed — snapshot of monotone bits; taken at
+            // quiescence for exactness, and any interleaved view is still a
+            // valid (slightly stale) sketch state.
             let mut bits = w.load(Ordering::Relaxed);
             while bits != 0 {
                 let b_off = bits.trailing_zeros() as usize;

@@ -23,9 +23,11 @@ impl PackedArray {
     pub fn new(len: usize, width: u8) -> Self {
         assert!(len > 0, "register array must be non-empty");
         assert!((1..=16).contains(&width), "width {width} must be in 1..=16");
-        let total_bits = len
-            .checked_mul(width as usize)
-            .expect("register array size overflows");
+        assert!(
+            len <= usize::MAX / usize::from(width),
+            "register array size overflows"
+        );
+        let total_bits = len * usize::from(width);
         Self {
             words: vec![0u64; total_bits.div_ceil(64)],
             len,

@@ -118,7 +118,7 @@ impl BottomK {
             }
             self.heap.push(h);
             true
-        } else if h < *self.heap.peek().expect("heap full") {
+        } else if self.heap.peek().is_some_and(|&top| h < top) {
             if self.heap.iter().any(|&x| x == h) {
                 return false;
             }
@@ -143,8 +143,10 @@ impl DistinctCounter for BottomK {
             // Fewer than k distinct items seen: the sketch is exact.
             return r as f64;
         }
-        let kth = *self.heap.peek().expect("heap full") as f64;
-        let normalized = kth / (u64::MAX as f64);
+        let Some(&kth) = self.heap.peek() else {
+            return r as f64; // k == 0: degenerate sketch, nothing to invert
+        };
+        let normalized = kth as f64 / (u64::MAX as f64);
         (self.k as f64 - 1.0) / normalized
     }
 

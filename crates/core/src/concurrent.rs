@@ -113,12 +113,17 @@ impl SharedZ {
     /// CAS-add `delta` onto the f64-encoded Z.
     #[inline]
     fn add(&self, delta: f64) {
+        // ORDERING: Relaxed — optimistic first read; the CAS below
+        // revalidates it, so staleness costs one retry, never a lost delta.
         let mut current = self.z_bits.load(Ordering::Relaxed);
         loop {
             let updated = (f64::from_bits(current) + delta).to_bits();
             match self.z_bits.compare_exchange_weak(
                 current,
                 updated,
+                // ORDERING: Relaxed/Relaxed — Z is a pure accumulator: the
+                // RMW total order makes every delta land exactly once, and
+                // no other memory is published through it.
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
@@ -142,6 +147,9 @@ impl<S: ConcurrentSlotStore> SharedQTracker<S> for SharedZ {
 
     #[inline]
     fn numerator(&self, _store: &S) -> f64 {
+        // ORDERING: Relaxed — anytime estimate: a slightly stale Z is still
+        // a valid sketch state; exact reads happen at quiescence where the
+        // thread join provides the happens-before edge.
         f64::from_bits(self.z_bits.load(Ordering::Relaxed)).max(f64::MIN_POSITIVE)
     }
 

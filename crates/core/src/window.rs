@@ -99,12 +99,18 @@ impl<E> Windowed<E> {
     /// Counts this edge and reports whether it opens a new slice.
     #[inline]
     fn tick(&self) -> bool {
+        // ORDERING: Relaxed — the fetch-add's RMW total order hands each
+        // caller a unique counter value (so each boundary fires exactly
+        // once); rotation itself synchronizes via the slices RwLock.
         let t = self.edges_seen.fetch_add(1, Ordering::Relaxed);
         t > 0 && t.is_multiple_of(self.edges_per_slice)
     }
 
     /// Appends a fresh slice and retires the oldest once over capacity.
     fn rotate(&self, slices: &mut VecDeque<Arc<E>>) {
+        // ORDERING: Relaxed — callers hold the slices write lock, which
+        // already orders rotations; the atomic only feeds the factory seed
+        // and the advisory rotations() counter.
         let r = self.rotations.fetch_add(1, Ordering::Relaxed) + 1;
         slices.push_back(Arc::new((self.factory)(r)));
         if slices.len() > self.max_slices {
@@ -130,6 +136,8 @@ impl<E> Windowed<E> {
     /// Total slice rotations so far.
     #[must_use]
     pub fn rotations(&self) -> u64 {
+        // ORDERING: Relaxed — advisory monotone counter; exact only at
+        // quiescence, where thread join provides the happens-before edge.
         self.rotations.load(Ordering::Relaxed)
     }
 
@@ -178,12 +186,18 @@ impl<E: ConcurrentEstimator> Windowed<E> {
     pub fn ingest_batch(&self, edges: &[(u64, u64)]) {
         let mut rest = edges;
         while !rest.is_empty() {
+            // ORDERING: Relaxed — advisory peek to size the sub-batch; the
+            // fetch-add below is the authoritative claim and the boundary
+            // math tolerates this value being stale.
             let t = self.edges_seen.load(Ordering::Relaxed);
             let until_boundary = self.edges_per_slice - (t % self.edges_per_slice);
             let take = rest
                 .len()
                 .min(usize::try_from(until_boundary).unwrap_or(rest.len()));
             let (head, tail) = rest.split_at(take);
+            // ORDERING: Relaxed — the RMW total order partitions the counter
+            // space into disjoint `[t, t+len)` intervals across racing
+            // callers; rotation synchronizes via the slices RwLock.
             let t = self
                 .edges_seen
                 .fetch_add(head.len() as u64, Ordering::Relaxed);

@@ -115,8 +115,11 @@ pub fn encode_record(e: Edge) -> [u8; FEDGE_RECORD_LEN] {
 /// Decodes one 16-byte record back into an edge.
 #[must_use]
 pub fn decode_record(rec: &[u8; FEDGE_RECORD_LEN]) -> Edge {
-    let user = u64::from_le_bytes(rec[..8].try_into().expect("8-byte half"));
-    let item = u64::from_le_bytes(rec[8..].try_into().expect("8-byte half"));
+    let mut half = [0u8; 8];
+    half.copy_from_slice(&rec[..8]);
+    let user = u64::from_le_bytes(half);
+    half.copy_from_slice(&rec[8..]);
+    let item = u64::from_le_bytes(half);
     Edge::new(user, item)
 }
 
@@ -227,7 +230,7 @@ impl<R: Read> FedgeReader<R> {
         if got < FEDGE_HEADER_LEN {
             return Err(FedgeError::TruncatedHeader { len: got });
         }
-        let version = u16::from_le_bytes(header[4..6].try_into().expect("2-byte half"));
+        let version = u16::from_le_bytes([header[4], header[5]]);
         if version != FEDGE_VERSION {
             return Err(FedgeError::UnsupportedVersion { found: version });
         }
@@ -265,7 +268,9 @@ impl<R: Read> FedgeReader<R> {
         }
         buf.reserve(whole);
         for rec in self.raw[..got].chunks_exact(FEDGE_RECORD_LEN) {
-            buf.push(decode_record(rec.try_into().expect("exact chunk")));
+            let mut fixed = [0u8; FEDGE_RECORD_LEN];
+            fixed.copy_from_slice(rec);
+            buf.push(decode_record(&fixed));
         }
         self.records_read += whole as u64;
         Ok(whole)

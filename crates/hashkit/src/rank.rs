@@ -21,8 +21,8 @@ impl Rank {
     #[must_use]
     pub fn new_clamped(k: u8) -> Self {
         let k = k.clamp(1, Self::MAX_RANK);
-        // SAFETY-free: clamp guarantees non-zero.
-        Self(std::num::NonZeroU8::new(k).expect("clamped to >= 1"))
+        // The clamp guarantees non-zero, so the fallback is unreachable.
+        Self(std::num::NonZeroU8::new(k).unwrap_or(std::num::NonZeroU8::MIN))
     }
 
     /// The rank value in `1..=64`.

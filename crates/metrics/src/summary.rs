@@ -67,7 +67,7 @@ impl Summary {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(f64::total_cmp);
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
         sorted[idx]
     }

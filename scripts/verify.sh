@@ -16,6 +16,10 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> freesketch-analyzer (ordering-audit, unsafe-gate, lock-discipline, serde-sync)"
+# Hard gate: any finding (including stale allowlist entries) fails the build.
+./target/release/freesketch-analyzer
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run --workspace
 

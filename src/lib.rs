@@ -13,6 +13,8 @@
 //!   baselines (CSE, vHLL), plus super-spreader detection.
 //! * [`metrics`] — evaluation metrics (RSE, CCDF, FNR/FPR) and reporting.
 
+#![forbid(unsafe_code)]
+
 pub use bitpack;
 pub use cardsketch;
 pub use freesketch;
