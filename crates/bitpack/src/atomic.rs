@@ -123,6 +123,43 @@ impl AtomicBitArray {
         self.len - ones as usize
     }
 
+    /// Rebuilds an atomic array from a sequential [`crate::BitArray`]
+    /// snapshot — the restore half of [`AtomicBitArray::snapshot`].
+    #[must_use]
+    pub fn from_bits(bits: &crate::BitArray) -> Self {
+        let arr = Self::new(bits.len());
+        for i in bits.iter_ones() {
+            arr.set(i);
+        }
+        arr
+    }
+
+    /// Bitwise OR of another array into this one (concurrent sketch
+    /// union). Safe to run while writers are active on either side; the
+    /// zero count is exact once all writers (including this merge)
+    /// quiesce.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn union_with(&self, other: &Self) {
+        assert_eq!(self.len, other.len, "union requires equal lengths");
+        let mut flipped = 0usize;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            // ORDERING: Relaxed — monotone bits carry no payload; the
+            // fetch_or RMW total order alone decides which bits this call
+            // freshly sets (see set()).
+            let bits = b.load(Ordering::Relaxed);
+            if bits != 0 {
+                let prev = a.fetch_or(bits, Ordering::Relaxed);
+                flipped += (bits & !prev).count_ones() as usize;
+            }
+        }
+        if flipped > 0 {
+            // ORDERING: Relaxed — advisory counter, same as set().
+            self.zeros.fetch_sub(flipped, Ordering::Relaxed);
+        }
+    }
+
     /// Converts into a sequential [`crate::BitArray`] snapshot.
     #[must_use]
     pub fn snapshot(&self) -> crate::BitArray {

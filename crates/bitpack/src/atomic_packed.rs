@@ -148,6 +148,39 @@ impl AtomicPackedArray {
             .sum()
     }
 
+    /// Rebuilds an atomic array from a sequential [`crate::PackedArray`]
+    /// snapshot — the restore half of [`AtomicPackedArray::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot's width is outside `1..=16` (impossible for
+    /// a validated [`crate::PackedArray`]).
+    #[must_use]
+    pub fn from_packed(regs: &crate::PackedArray) -> Self {
+        let arr = Self::new(regs.len(), regs.width());
+        for (i, v) in regs.iter().enumerate() {
+            if v > 0 {
+                arr.store_max(i, v);
+            }
+        }
+        arr
+    }
+
+    /// Element-wise max of another array into this one (concurrent HLL
+    /// union). Safe to run while writers are active on either side.
+    ///
+    /// # Panics
+    /// Panics if geometry differs.
+    pub fn merge_max(&self, other: &Self) {
+        assert_eq!(self.len, other.len, "merge requires equal lengths");
+        assert_eq!(self.width, other.width, "merge requires equal widths");
+        for i in 0..self.len {
+            let v = other.load(i);
+            if v > 0 {
+                self.store_max(i, v);
+            }
+        }
+    }
+
     /// Snapshot into a sequential [`crate::PackedArray`].
     #[must_use]
     pub fn snapshot(&self) -> crate::PackedArray {

@@ -179,6 +179,44 @@ impl BitArray {
         self.zeros = self.len;
     }
 
+    /// Checks the structural invariants a freshly deserialized array must
+    /// satisfy: non-empty, the right word count for `len`, no stray bits
+    /// past `len`, and a zero count that matches the actual contents.
+    /// Snapshot restore runs this so a checksum-valid but semantically
+    /// inconsistent payload becomes a typed error instead of a later
+    /// panic or a silently wrong estimate.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.len == 0 {
+            return Err("bit array length is zero".to_string());
+        }
+        if self.words.len() != self.len.div_ceil(64) {
+            return Err(format!(
+                "bit array has {} words, expected {} for {} bits",
+                self.words.len(),
+                self.len.div_ceil(64),
+                self.len
+            ));
+        }
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            let last = self.words[self.words.len() - 1];
+            if last >> tail_bits != 0 {
+                return Err(format!("stray bits past length {}", self.len));
+            }
+        }
+        if self.zeros != self.recount_zeros() {
+            return Err(format!(
+                "zero count {} disagrees with contents ({})",
+                self.zeros,
+                self.recount_zeros()
+            ));
+        }
+        Ok(())
+    }
+
     /// Iterates over the indices of set bits.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, &w)| {

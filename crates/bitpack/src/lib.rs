@@ -44,4 +44,4 @@ pub use atomic::AtomicBitArray;
 pub use atomic_packed::AtomicPackedArray;
 pub use bitarray::BitArray;
 pub use packed::PackedArray;
-pub use slotstore::{ConcurrentSlotStore, SlotStore};
+pub use slotstore::{ConcurrentSlotStore, FreezeStore, SlotStore};

@@ -180,6 +180,48 @@ impl PackedArray {
         self.words.fill(0);
     }
 
+    /// Checks the structural invariants a freshly deserialized array must
+    /// satisfy: non-empty, a width in `1..=16`, the right word count for
+    /// the geometry, and no stray bits past the packed payload. Snapshot
+    /// restore runs this so a checksum-valid but semantically
+    /// inconsistent payload becomes a typed error instead of a later
+    /// panic.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.len == 0 {
+            return Err("register array length is zero".to_string());
+        }
+        if !(1..=16).contains(&self.width) {
+            return Err(format!("register width {} outside 1..=16", self.width));
+        }
+        if self.len > usize::MAX / usize::from(self.width) {
+            return Err(format!(
+                "register array geometry {}x{} overflows",
+                self.len, self.width
+            ));
+        }
+        let total_bits = self.len * usize::from(self.width);
+        if self.words.len() != total_bits.div_ceil(64) {
+            return Err(format!(
+                "register array has {} words, expected {} for {} registers of {} bits",
+                self.words.len(),
+                total_bits.div_ceil(64),
+                self.len,
+                self.width
+            ));
+        }
+        let tail_bits = total_bits % 64;
+        if tail_bits != 0 {
+            let last = self.words[self.words.len() - 1];
+            if last >> tail_bits != 0 {
+                return Err(format!("stray bits past register {}", self.len));
+            }
+        }
+        Ok(())
+    }
+
     /// Heap memory consumed by the packed payload, in bytes.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {

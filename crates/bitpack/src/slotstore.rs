@@ -87,6 +87,23 @@ pub trait SlotStore {
     /// Bits of sketch memory, matching the paper's accounting (`M` for bit
     /// stores, `w·M` for register stores).
     fn memory_bits(&self) -> usize;
+
+    /// Slot-wise union of `other` into `self` (bit: OR, register: max) —
+    /// the array half of sketch merge. Both stores must share geometry;
+    /// callers (engine merge) check configs first and surface a typed
+    /// error, so the panic here is defense in depth.
+    ///
+    /// # Panics
+    /// Panics if geometry (length or width) differs.
+    fn merge_from(&mut self, other: &Self);
+
+    /// Checks the structural invariants a freshly deserialized store must
+    /// satisfy (word counts, stray bits, maintained counters). See
+    /// [`BitArray::validate`]/[`PackedArray::validate`].
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    fn validate(&self) -> Result<(), String>;
 }
 
 /// [`SlotStore`]'s lock-free counterpart: shared (`&self`) monotone updates
@@ -131,6 +148,29 @@ pub trait ConcurrentSlotStore: Send + Sync {
 
     /// Bits of sketch memory.
     fn memory_bits(&self) -> usize;
+}
+
+/// The persistence seam for concurrent stores: a concurrent store freezes
+/// into its sequential twin (which carries the serde impls and the
+/// validated deserialization path) and thaws back. Snapshots of the
+/// concurrent engines round-trip through `Frozen`, so one on-disk layout
+/// serves both engine families.
+pub trait FreezeStore: ConcurrentSlotStore + Sized {
+    /// The sequential twin ([`BitArray`] / [`PackedArray`]).
+    type Frozen: SlotStore;
+
+    /// Captures a sequential snapshot (quiescent state for exactness).
+    fn freeze(&self) -> Self::Frozen;
+
+    /// Rebuilds a concurrent store from a frozen snapshot.
+    fn thaw(frozen: &Self::Frozen) -> Self;
+
+    /// Slot-wise union of `other` into `self` (bit: OR, register: max),
+    /// through shared references.
+    ///
+    /// # Panics
+    /// Panics if geometry differs (callers check configs first).
+    fn merge_from(&self, other: &Self);
 }
 
 impl SlotStore for BitArray {
@@ -184,6 +224,14 @@ impl SlotStore for BitArray {
     #[inline]
     fn memory_bits(&self) -> usize {
         self.len()
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.union_with(other);
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.validate()
     }
 }
 
@@ -240,6 +288,14 @@ impl SlotStore for PackedArray {
     #[inline]
     fn memory_bits(&self) -> usize {
         self.len() * usize::from(self.width())
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.merge_max(other);
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.validate()
     }
 }
 
@@ -337,6 +393,38 @@ impl ConcurrentSlotStore for AtomicPackedArray {
     }
 }
 
+impl FreezeStore for AtomicBitArray {
+    type Frozen = BitArray;
+
+    fn freeze(&self) -> BitArray {
+        self.snapshot()
+    }
+
+    fn thaw(frozen: &BitArray) -> Self {
+        Self::from_bits(frozen)
+    }
+
+    fn merge_from(&self, other: &Self) {
+        self.union_with(other);
+    }
+}
+
+impl FreezeStore for AtomicPackedArray {
+    type Frozen = PackedArray;
+
+    fn freeze(&self) -> PackedArray {
+        self.snapshot()
+    }
+
+    fn thaw(frozen: &PackedArray) -> Self {
+        Self::from_packed(frozen)
+    }
+
+    fn merge_from(&self, other: &Self) {
+        self.merge_max(other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +504,65 @@ mod tests {
         assert_eq!(ConcurrentSlotStore::try_update(&regs, 5, 11), Some(9));
         assert_eq!(ConcurrentSlotStore::zero_slots(&regs), 63);
         assert_eq!(ConcurrentSlotStore::memory_bits(&regs), 320);
+    }
+
+    #[test]
+    fn freeze_thaw_round_trips() {
+        let bits = AtomicBitArray::new(200);
+        for i in [0usize, 63, 64, 150, 199] {
+            bits.set(i);
+        }
+        let frozen = bits.freeze();
+        let thawed = AtomicBitArray::thaw(&frozen);
+        assert_eq!(thawed.snapshot(), frozen);
+        assert_eq!(thawed.zeros(), bits.zeros());
+
+        let regs = AtomicPackedArray::new(100, 5);
+        for i in 0..100 {
+            regs.store_max(i, (i % 31) as u16);
+        }
+        let frozen = regs.freeze();
+        let thawed = AtomicPackedArray::thaw(&frozen);
+        assert_eq!(thawed.snapshot(), frozen);
+    }
+
+    #[test]
+    fn merge_from_is_union() {
+        let mut a = BitArray::new(128);
+        let mut b = BitArray::new(128);
+        a.set(1);
+        b.set(2);
+        SlotStore::merge_from(&mut a, &b);
+        assert!(a.get(1) && a.get(2));
+        assert_eq!(a.zeros(), a.recount_zeros());
+
+        let ca = AtomicBitArray::new(128);
+        let cb = AtomicBitArray::new(128);
+        ca.set(1);
+        cb.set(2);
+        cb.set(1);
+        FreezeStore::merge_from(&ca, &cb);
+        assert!(ca.get(1) && ca.get(2));
+        assert_eq!(ca.zeros(), ca.recount_zeros());
+
+        let ra = AtomicPackedArray::new(64, 5);
+        let rb = AtomicPackedArray::new(64, 5);
+        ra.store_max(3, 7);
+        rb.store_max(3, 9);
+        rb.store_max(10, 2);
+        FreezeStore::merge_from(&ra, &rb);
+        assert_eq!(ra.load(3), 9);
+        assert_eq!(ra.load(10), 2);
+    }
+
+    #[test]
+    fn validate_accepts_live_stores() {
+        let mut b = BitArray::new(100);
+        b.set(99);
+        assert!(SlotStore::validate(&b).is_ok());
+        let mut p = PackedArray::new(100, 5);
+        p.store(99, 31);
+        assert!(SlotStore::validate(&p).is_ok());
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub struct Cli {
     /// Input-format override (`--format tsv|fedge`); `None` (the `auto`
     /// default) sniffs the file header.
     pub format: Option<InputFormat>,
+    /// Checkpoint snapshot path for the ingesting subcommands
+    /// (`--checkpoint`): restore from it when present — falling back to
+    /// `<path>.prev` when the newest snapshot is corrupt — and write a new
+    /// snapshot every [`checkpoint_every`](Self::checkpoint_every) edges.
+    pub checkpoint: Option<String>,
+    /// Edges between incremental checkpoints (`--checkpoint-every`).
+    pub checkpoint_every: u64,
 }
 
 /// The CLI subcommands.
@@ -98,6 +105,32 @@ pub enum Command {
         /// Number of progress rows to print.
         checkpoints: usize,
     },
+    /// `checkpoint <edges> <out.fsnp>` — ingest a trace and write one
+    /// checksummed snapshot of the final sketch state.
+    Checkpoint {
+        /// Path to the edge file.
+        input: String,
+        /// Snapshot output path.
+        out: String,
+    },
+    /// `restore <snap.fsnp> [<edges>] [--top N]` — report from a snapshot,
+    /// optionally resuming ingest from the recorded stream offset.
+    Restore {
+        /// Snapshot path (`<snap>.prev` is tried when the newest is corrupt).
+        snap: String,
+        /// Optional edge file to resume from the recorded offset.
+        resume: Option<String>,
+        /// How many of the heaviest users to print.
+        top: usize,
+    },
+    /// `merge <snap.fsnp>... <out.fsnp>` — union two or more snapshots of
+    /// identically configured sketches into one.
+    Merge {
+        /// Input snapshot paths (at least two).
+        inputs: Vec<String>,
+        /// Merged snapshot output path.
+        out: String,
+    },
 }
 
 /// Argument errors, with enough structure for exact tests.
@@ -130,7 +163,8 @@ impl std::fmt::Display for ParseError {
             Self::MissingCommand => {
                 write!(
                     f,
-                    "missing subcommand (estimate|spreaders|synth|track|convert)"
+                    "missing subcommand \
+                     (estimate|spreaders|synth|track|convert|checkpoint|restore|merge)"
                 )
             }
             Self::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
@@ -160,6 +194,9 @@ USAGE:
   freesketch-cli synth     <profile> [--scale N] [--out FILE]
   freesketch-cli track     <edges> --user ID [--checkpoints K] [common flags]
   freesketch-cli convert   <edges.tsv> <out.fedge> [--chunk N]
+  freesketch-cli checkpoint <edges> <out.fsnp> [common flags]
+  freesketch-cli restore   <snap.fsnp> [<edges>] [--top N] [common flags]
+  freesketch-cli merge     <snap.fsnp>... <out.fsnp>
 
 COMMON FLAGS:
   --method freebs|freers   estimator (default freebs)
@@ -172,11 +209,22 @@ COMMON FLAGS:
   --chunk N                edges read from the file per streaming chunk —
                            the resident-edge bound (default 65536)
   --format auto|tsv|fedge  input format (default auto: sniff the header)
+  --checkpoint FILE        crash-safe ingest for estimate/spreaders/track:
+                           restore FILE if present (FILE.prev when the
+                           newest snapshot is corrupt), resume the trace at
+                           the recorded offset, and keep checkpointing
+  --checkpoint-every N     edges between incremental checkpoints
+                           (default 1000000)
 
 Edge files are read streaming (bounded memory) in either format,
 auto-detected: TSV — one `user item` pair per line, `#` comments
 ignored — or binary fedge (`convert` writes it; ~3x smaller than TSV
-and parse-free to replay).";
+and parse-free to replay).
+
+Snapshots (*.fsnp) are versioned, per-section checksummed images of a
+sketch plus its stream offset; `checkpoint`, `restore` and `merge`
+operate on them, and `--checkpoint` maintains one during ingest with
+atomic rotation (FILE.part staging, last good kept at FILE.prev).";
 
 impl Cli {
     /// Parses a full argument list (excluding `argv[0]`).
@@ -198,6 +246,8 @@ impl Cli {
         let mut out = "-".to_string();
         let mut user: Option<String> = None;
         let mut checkpoints = 10usize;
+        let mut checkpoint: Option<String> = None;
+        let mut checkpoint_every = 1_000_000u64;
 
         let mut i = 0usize;
         while i < args.len() {
@@ -262,6 +312,20 @@ impl Cli {
                 "--checkpoints" => {
                     checkpoints = parse_num(value(args, &mut i, "--checkpoints")?, "--checkpoints")?
                 }
+                "--checkpoint" => {
+                    checkpoint = Some(value(args, &mut i, "--checkpoint")?.to_string())
+                }
+                "--checkpoint-every" => {
+                    let v = value(args, &mut i, "--checkpoint-every")?;
+                    checkpoint_every = parse_num(v, "--checkpoint-every")?;
+                    if checkpoint_every == 0 {
+                        return Err(ParseError::BadValue {
+                            flag: "--checkpoint-every",
+                            value: v.to_string(),
+                            expected: "a positive integer",
+                        });
+                    }
+                }
                 flag if flag.starts_with("--") => {
                     return Err(ParseError::UnknownFlag(flag.to_string()))
                 }
@@ -312,6 +376,35 @@ impl Cli {
                 user: user.ok_or(ParseError::MissingValue("--user"))?,
                 checkpoints,
             },
+            "checkpoint" => Command::Checkpoint {
+                input: pos
+                    .next()
+                    .ok_or(ParseError::MissingArg("edges"))?
+                    .to_string(),
+                out: pos
+                    .next()
+                    .ok_or(ParseError::MissingArg("out.fsnp"))?
+                    .to_string(),
+            },
+            "restore" => Command::Restore {
+                snap: pos
+                    .next()
+                    .ok_or(ParseError::MissingArg("snap.fsnp"))?
+                    .to_string(),
+                resume: pos.next().map(str::to_string),
+                top,
+            },
+            "merge" => {
+                let mut rest: Vec<String> = pos.by_ref().map(str::to_string).collect();
+                // <out> plus at least two inputs.
+                if rest.len() < 3 {
+                    return Err(ParseError::MissingArg(
+                        "snap.fsnp (merge takes two or more inputs, then the output)",
+                    ));
+                }
+                let out = rest.pop().ok_or(ParseError::MissingArg("out.fsnp"))?;
+                Command::Merge { inputs: rest, out }
+            }
             other => return Err(ParseError::UnknownCommand(other.to_string())),
         };
 
@@ -324,6 +417,8 @@ impl Cli {
             threads,
             chunk,
             format,
+            checkpoint,
+            checkpoint_every,
         })
     }
 }
@@ -546,6 +641,99 @@ mod tests {
             Cli::parse(&["estimate", "x", "--frob"]).unwrap_err(),
             ParseError::UnknownFlag("--frob".into())
         );
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_reject_zero_interval() {
+        let cli = Cli::parse(&["estimate", "x.tsv"]).expect("parse");
+        assert_eq!(cli.checkpoint, None);
+        assert_eq!(cli.checkpoint_every, 1_000_000);
+        let cli = Cli::parse(&[
+            "estimate",
+            "x.tsv",
+            "--checkpoint",
+            "state.fsnp",
+            "--checkpoint-every",
+            "5000",
+        ])
+        .expect("parse");
+        assert_eq!(cli.checkpoint.as_deref(), Some("state.fsnp"));
+        assert_eq!(cli.checkpoint_every, 5000);
+        assert!(matches!(
+            Cli::parse(&["estimate", "x.tsv", "--checkpoint-every", "0"]).unwrap_err(),
+            ParseError::BadValue {
+                flag: "--checkpoint-every",
+                ..
+            }
+        ));
+        assert_eq!(
+            Cli::parse(&["estimate", "x.tsv", "--checkpoint"]).unwrap_err(),
+            ParseError::MissingValue("--checkpoint")
+        );
+    }
+
+    #[test]
+    fn checkpoint_subcommand_parses() {
+        let cli = Cli::parse(&["checkpoint", "edges.tsv", "state.fsnp"]).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Checkpoint {
+                input: "edges.tsv".into(),
+                out: "state.fsnp".into()
+            }
+        );
+        assert_eq!(
+            Cli::parse(&["checkpoint", "edges.tsv"]).unwrap_err(),
+            ParseError::MissingArg("out.fsnp")
+        );
+    }
+
+    #[test]
+    fn restore_subcommand_parses_with_optional_resume() {
+        let cli = Cli::parse(&["restore", "state.fsnp"]).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Restore {
+                snap: "state.fsnp".into(),
+                resume: None,
+                top: 10
+            }
+        );
+        let cli = Cli::parse(&["restore", "state.fsnp", "edges.tsv", "--top", "3"]).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Restore {
+                snap: "state.fsnp".into(),
+                resume: Some("edges.tsv".into()),
+                top: 3
+            }
+        );
+        assert_eq!(
+            Cli::parse(&["restore"]).unwrap_err(),
+            ParseError::MissingArg("snap.fsnp")
+        );
+    }
+
+    #[test]
+    fn merge_subcommand_needs_two_inputs_and_output() {
+        let cli = Cli::parse(&["merge", "a.fsnp", "b.fsnp", "c.fsnp", "out.fsnp"]).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Merge {
+                inputs: vec!["a.fsnp".into(), "b.fsnp".into(), "c.fsnp".into()],
+                out: "out.fsnp".into()
+            }
+        );
+        for bad in [
+            &["merge"][..],
+            &["merge", "a.fsnp"],
+            &["merge", "a.fsnp", "out.fsnp"],
+        ] {
+            assert!(
+                matches!(Cli::parse(bad).unwrap_err(), ParseError::MissingArg(_)),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

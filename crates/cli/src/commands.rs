@@ -7,12 +7,16 @@
 
 use crate::args::{Cli, Command, MethodChoice};
 use crate::input::{hash_id, open_source, InputFormat};
-use freesketch::ingest::{ingest_slice, stream_into, stream_into_parallel};
+use freesketch::ingest::{ingest_slice, skip_edges, stream_into, stream_into_parallel};
+use freesketch::snapshot::{
+    fallback_path, load_snapshot, load_with_fallback, save_snapshot_file, AnySketch, Checkpointer,
+};
 use freesketch::{
     CardinalityEstimator, ConcurrentEstimator, FreeBS, FreeRS, ShardedFreeBS, ShardedFreeRS,
 };
-use graphstream::{Edge, FedgeWriter};
+use graphstream::{Edge, FedgeWriter, SnapshotError};
 use std::io::Write;
+use std::path::Path;
 
 /// Runs a parsed CLI against an output sink.
 ///
@@ -22,7 +26,7 @@ use std::io::Write;
 pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
     match &cli.command {
         Command::Estimate { path, top } => {
-            let mut runner = Runner::build(cli);
+            let mut runner = Runner::build(cli, out)?;
             let total = runner.ingest_source(cli, path)?;
             let est = runner.estimator();
             writeln!(
@@ -44,7 +48,7 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
             }
         }
         Command::Spreaders { path, delta } => {
-            let mut runner = Runner::build(cli);
+            let mut runner = Runner::build(cli, out)?;
             runner.ingest_source(cli, path)?;
             let est = runner.estimator();
             let report = freesketch::detect_spreaders(est, *delta);
@@ -116,8 +120,13 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
                     return Err(e);
                 }
             };
-            std::fs::rename(&part_path, out_path)
-                .map_err(|e| format!("cannot move `{part_path}` to `{out_path}`: {e}"))?;
+            std::fs::rename(&part_path, out_path).map_err(|e| {
+                // The encode succeeded but the publish didn't (e.g. the
+                // destination is a directory): the temp file must not
+                // linger as if a conversion were still in flight.
+                std::fs::remove_file(&part_path).ok();
+                format!("cannot move `{part_path}` to `{out_path}`: {e}")
+            })?;
             writeln!(
                 out,
                 "{records} edges → {out_path} (fedge, {} bytes)",
@@ -131,7 +140,7 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
             checkpoints,
         } => {
             let (total, uid) = scan_total_and_user(cli, path, user)?;
-            let mut runner = Runner::build(cli);
+            let mut runner = Runner::build(cli, out)?;
             let step = (total / (*checkpoints).max(1) as u64).max(1);
             writeln!(out, "{:>12}  {:>12}", "edges seen", "estimate")?;
             // Second pass: ingest one checkpoint interval at a time so each
@@ -140,9 +149,22 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
             let (mut src, _) = open_source(path, cli.format)?;
             let mut buf: Vec<Edge> = Vec::with_capacity(cli.chunk);
             let mut pairs: Vec<(u64, u64)> = Vec::new();
-            let mut seen = 0u64;
-            let mut next_cp = step;
-            let mut printed_at = 0u64;
+            // Resuming from a restored checkpoint: fast-forward past the
+            // edges the sketch already holds; the table continues from
+            // there (earlier rows belong to the interrupted run).
+            let mut seen = runner.base();
+            if seen > 0 {
+                let skipped = skip_edges(src.as_mut(), seen, cli.chunk)?;
+                if skipped < seen {
+                    return Err(format!(
+                        "`{path}` holds {skipped} edges but the checkpoint records \
+                         {seen} — wrong trace for this checkpoint?"
+                    )
+                    .into());
+                }
+            }
+            let mut next_cp = (seen / step + 1) * step;
+            let mut printed_at = seen;
             loop {
                 let n = src.next_chunk(&mut buf, cli.chunk)?;
                 if n == 0 {
@@ -156,6 +178,7 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
                     runner.ingest(cli, &buf[off..off + take], &mut pairs);
                     seen += take as u64;
                     off += take;
+                    runner.maybe_checkpoint(seen)?;
                     if seen == next_cp {
                         writeln!(
                             out,
@@ -176,6 +199,104 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
                     runner.estimator().estimate(uid)
                 )?;
             }
+            runner.final_checkpoint(seen)?;
+        }
+        Command::Checkpoint {
+            input,
+            out: snap_out,
+        } => {
+            let mut sketch = build_any(cli);
+            let (mut src, _) = open_source(input, cli.format)?;
+            let mut ckpt = Checkpointer::new(Path::new(snap_out.as_str()), cli.checkpoint_every)
+                .with_crash_after(crash_after_env());
+            let total = sketch.ingest_checkpointed(
+                src.as_mut(),
+                cli.chunk,
+                cli.batch,
+                cli.threads,
+                &mut ckpt,
+                0,
+            )?;
+            writeln!(
+                out,
+                "{total} edges → `{snap_out}` ({} snapshot; total cardinality ≈ {:.0})",
+                sketch.kind(),
+                sketch.total_estimate()
+            )?;
+        }
+        Command::Restore { snap, resume, top } => {
+            let path = Path::new(snap.as_str());
+            let Some((mut sketch, offset, used_fallback)) = load_with_fallback(path)? else {
+                return Err(format!("no snapshot at `{snap}`").into());
+            };
+            if used_fallback {
+                writeln!(
+                    out,
+                    "note: `{snap}` is corrupt — restored last good checkpoint `{}` \
+                     ({offset} edges)",
+                    fallback_path(path).display()
+                )?;
+            }
+            let mut total = offset;
+            if let Some(trace) = resume {
+                let (mut src, _) = open_source(trace, cli.format)?;
+                let skipped = skip_edges(src.as_mut(), offset, cli.chunk)?;
+                if skipped < offset {
+                    return Err(format!(
+                        "`{trace}` holds {skipped} edges but the snapshot records \
+                         {offset} — wrong trace for this snapshot?"
+                    )
+                    .into());
+                }
+                total += stream_into(&mut sketch, src.as_mut(), cli.chunk, cli.batch)?;
+            }
+            writeln!(
+                out,
+                "{total} edges in {} snapshot ({} bits); total cardinality ≈ {:.0}",
+                sketch.kind(),
+                sketch.memory_bits(),
+                sketch.total_estimate()
+            )?;
+            let users = rank_users(&sketch);
+            writeln!(
+                out,
+                "top {} users by estimated cardinality:",
+                top.min(&users.len())
+            )?;
+            for (u, e) in users.iter().take(*top) {
+                writeln!(out, "  {u:016x}  {e:.1}")?;
+            }
+        }
+        Command::Merge {
+            inputs,
+            out: snap_out,
+        } => {
+            let mut merged: Option<(AnySketch, u64)> = None;
+            for p in inputs {
+                let file = std::fs::File::open(p).map_err(|e| format!("cannot open `{p}`: {e}"))?;
+                let mut reader = std::io::BufReader::new(file);
+                let (sketch, edges) =
+                    load_snapshot(&mut reader).map_err(|e| format!("`{p}`: {e}"))?;
+                merged = Some(match merged {
+                    None => (sketch, edges),
+                    Some((mut acc, total)) => {
+                        acc.merge(&sketch).map_err(|e| format!("`{p}`: {e}"))?;
+                        (acc, total + edges)
+                    }
+                });
+            }
+            let Some((sketch, total)) = merged else {
+                return Err("merge needs at least two input snapshots".into());
+            };
+            save_snapshot_file(Path::new(snap_out.as_str()), &sketch, total)?;
+            writeln!(
+                out,
+                "merged {} snapshots → `{snap_out}` ({total} edges, {}; \
+                 total cardinality ≈ {:.0})",
+                inputs.len(),
+                sketch.kind(),
+                sketch.total_estimate()
+            )?;
         }
     }
     Ok(())
@@ -237,24 +358,71 @@ fn scan_total_and_user(
 /// The estimator an ingesting subcommand runs: the exclusive scalar
 /// estimators at `--threads 1`, the sharded concurrent ones above — so
 /// `--threads` behaves identically for `estimate`, `spreaders` and
-/// `track`.
+/// `track` — and the crash-safe [`AnySketch`] lifecycle when
+/// `--checkpoint` is given.
 enum Runner {
     Scalar(Box<dyn CardinalityEstimator>),
     Sharded(Box<dyn ConcurrentEstimator>),
+    Checkpointed(Box<CheckpointedRunner>),
+}
+
+/// State of a `--checkpoint` run: the sketch (restored or fresh), the
+/// rotating snapshot writer, and the stream offset the restored sketch
+/// has already seen (0 on a cold start).
+struct CheckpointedRunner {
+    sketch: AnySketch,
+    ckpt: Checkpointer,
+    base: u64,
 }
 
 impl Runner {
-    fn build(cli: &Cli) -> Self {
-        if cli.threads > 1 {
+    /// Builds the runner; with `--checkpoint` this restores the newest
+    /// good snapshot if one exists (printing what happened to `out`) and
+    /// arms the incremental checkpointer.
+    fn build(cli: &Cli, out: &mut dyn Write) -> Result<Self, Box<dyn std::error::Error>> {
+        if let Some(snap) = &cli.checkpoint {
+            let path = Path::new(snap.as_str());
+            let (sketch, base) = match load_with_fallback(path)? {
+                Some((sketch, offset, used_fallback)) => {
+                    if used_fallback {
+                        writeln!(
+                            out,
+                            "note: `{snap}` is corrupt — restored last good checkpoint `{}` \
+                             ({offset} edges)",
+                            fallback_path(path).display()
+                        )?;
+                    } else {
+                        writeln!(
+                            out,
+                            "restored checkpoint `{snap}` ({offset} edges, {})",
+                            sketch.kind()
+                        )?;
+                    }
+                    (sketch, offset)
+                }
+                None => (build_any(cli), 0),
+            };
+            let ckpt = Checkpointer::new(path, cli.checkpoint_every)
+                .starting_from(base)
+                .with_crash_after(crash_after_env());
+            return Ok(Self::Checkpointed(Box::new(CheckpointedRunner {
+                sketch,
+                ckpt,
+                base,
+            })));
+        }
+        Ok(if cli.threads > 1 {
             Self::Sharded(build_sharded(cli))
         } else {
             Self::Scalar(build(cli))
-        }
+        })
     }
 
     /// Streams a whole file into the estimator (parallel for the sharded
-    /// runner) through the core drivers; returns edges processed. Peak
-    /// resident edge memory is O(`--chunk`).
+    /// runner) through the core drivers; returns edges processed —
+    /// including, for a restored checkpointed runner, the edges the
+    /// snapshot already covered (those are skipped, not re-ingested).
+    /// Peak resident edge memory is O(`--chunk`).
     fn ingest_source(&mut self, cli: &Cli, path: &str) -> Result<u64, Box<dyn std::error::Error>> {
         let (mut src, _) = open_source(path, cli.format)?;
         let total = match self {
@@ -266,6 +434,28 @@ impl Runner {
                 cli.batch,
                 cli.threads,
             )?,
+            Self::Checkpointed(c) => {
+                if c.base > 0 {
+                    let skipped = skip_edges(src.as_mut(), c.base, cli.chunk)?;
+                    if skipped < c.base {
+                        return Err(format!(
+                            "`{path}` holds {skipped} edges but the checkpoint records \
+                             {} — wrong trace for this checkpoint?",
+                            c.base
+                        )
+                        .into());
+                    }
+                }
+                let ingested = c.sketch.ingest_checkpointed(
+                    src.as_mut(),
+                    cli.chunk,
+                    cli.batch,
+                    cli.threads,
+                    &mut c.ckpt,
+                    c.base,
+                )?;
+                c.base + ingested
+            }
         };
         Ok(total)
     }
@@ -277,7 +467,37 @@ impl Runner {
         match self {
             Self::Scalar(est) => ingest_slice(est.as_mut(), edges, pairs, cli.batch),
             Self::Sharded(est) => ingest_parallel(est.as_ref(), edges, cli.batch, cli.threads),
+            Self::Checkpointed(c) => c.sketch.apply_chunk(edges, pairs, cli.batch, cli.threads),
         }
+    }
+
+    /// Stream offset already durably applied (non-zero only after a
+    /// checkpoint restore): callers ingesting manually must skip this
+    /// many edges before feeding the rest.
+    fn base(&self) -> u64 {
+        match self {
+            Self::Checkpointed(c) => c.base,
+            _ => 0,
+        }
+    }
+
+    /// Writes an incremental checkpoint if the interval has elapsed.
+    /// No-op for non-checkpointed runners; callers invoke it only at
+    /// quiescent points (after `ingest` returns).
+    fn maybe_checkpoint(&mut self, edges: u64) -> Result<(), SnapshotError> {
+        if let Self::Checkpointed(c) = self {
+            c.ckpt.maybe_checkpoint(&c.sketch, edges)?;
+        }
+        Ok(())
+    }
+
+    /// Final checkpoint at stream end (no-op for non-checkpointed
+    /// runners), so a completed run records the full stream offset.
+    fn final_checkpoint(&mut self, edges: u64) -> Result<(), SnapshotError> {
+        if let Self::Checkpointed(c) = self {
+            c.ckpt.checkpoint_now(&c.sketch, edges)?;
+        }
+        Ok(())
     }
 
     /// The query view (`estimate`, `total_estimate`, `for_each_estimate`,
@@ -286,6 +506,7 @@ impl Runner {
         match self {
             Self::Scalar(est) => est.as_ref(),
             Self::Sharded(est) => est.as_ref(),
+            Self::Checkpointed(c) => &c.sketch,
         }
     }
 }
@@ -313,6 +534,47 @@ fn build_sharded(cli: &Cli) -> Box<dyn ConcurrentEstimator> {
             cli.seed,
         )),
     }
+}
+
+/// Fresh [`AnySketch`] per the CLI flags, mirroring [`build`] /
+/// [`build_sharded`]: scalar kinds at `--threads 1`, sharded above. Used
+/// for cold-start `--checkpoint` runs and the `checkpoint` subcommand,
+/// so a snapshot written by one and restored by the other agrees.
+fn build_any(cli: &Cli) -> AnySketch {
+    if cli.threads > 1 {
+        let shards = cli.threads.next_power_of_two();
+        match cli.method {
+            MethodChoice::FreeBS => AnySketch::ShardedFreeBS(ShardedFreeBS::new(
+                cli.memory_bits.max(64 * shards),
+                shards,
+                cli.seed,
+            )),
+            MethodChoice::FreeRS => AnySketch::ShardedFreeRS(ShardedFreeRS::new(
+                (cli.memory_bits / 5).max(64 * shards),
+                shards,
+                cli.seed,
+            )),
+        }
+    } else {
+        match cli.method {
+            MethodChoice::FreeBS => {
+                AnySketch::FreeBS(FreeBS::new(cli.memory_bits.max(64), cli.seed))
+            }
+            MethodChoice::FreeRS => {
+                AnySketch::FreeRS(FreeRS::new((cli.memory_bits / 5).max(64), cli.seed))
+            }
+        }
+    }
+}
+
+/// Fault-injection knob for the crash/restore smoke test: when
+/// `FREESKETCH_CRASH_AFTER_CHECKPOINTS=n` is set, the n-th checkpoint
+/// write (0-based) of this process fails as an abrupt kill would.
+/// Unset or unparsable values disarm it.
+fn crash_after_env() -> Option<u64> {
+    std::env::var("FREESKETCH_CRASH_AFTER_CHECKPOINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
 }
 
 /// Splits the slice into `threads` chunks and feeds them concurrently
@@ -624,6 +886,208 @@ mod tests {
         std::fs::remove_file(good).ok();
         std::fs::remove_file(bad).ok();
         std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn checkpoint_then_restore_reports_identical_users() {
+        let mut content = String::new();
+        for u in 0..6 {
+            for d in 0..(u + 1) * 30 {
+                content.push_str(&format!("user{u} item{u}x{d}\n"));
+            }
+        }
+        let path = write_temp(&content);
+        let p = path.to_str().expect("utf8 path");
+        let snap = format!("{p}.fsnp");
+
+        let est_out = run_to_string(&["estimate", p, "--top", "6"]);
+        let ck_out = run_to_string(&["checkpoint", p, &snap]);
+        assert!(ck_out.contains("630 edges →"), "{ck_out}");
+        let rs_out = run_to_string(&["restore", &snap, "--top", "6"]);
+        assert!(rs_out.contains("630 edges in freebs snapshot"), "{rs_out}");
+
+        // The per-user report lines (two-space indented) are bit-identical:
+        // checkpointed ingest applies the same chunks through the same
+        // pipeline as `estimate`, and the snapshot round trip is exact.
+        let users = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.starts_with("  "))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(users(&est_out), users(&rs_out), "{est_out}\nvs\n{rs_out}");
+
+        // A sharded checkpoint round-trips through the CLI too.
+        let sharded_snap = format!("{p}.sharded.fsnp");
+        run_to_string(&["checkpoint", p, &sharded_snap, "--threads", "2"]);
+        let rs = run_to_string(&["restore", &sharded_snap]);
+        assert!(rs.contains("sharded-freebs snapshot"), "{rs}");
+
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(snap).ok();
+        std::fs::remove_file(sharded_snap).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_and_resumes_identically() {
+        // The full crash loop: an estimate run that checkpoints as it
+        // goes, whose newest snapshot is then corrupted — the rerun must
+        // fall back to the previous good checkpoint, resume the trace at
+        // its offset, and land on the exact report of an uninterrupted
+        // run.
+        let mut content = String::new();
+        for i in 0..1000u64 {
+            content.push_str(&format!("user{} item{i}\n", i % 5));
+        }
+        let path = write_temp(&content);
+        let p = path.to_str().expect("utf8 path");
+        let snap = format!("{p}.ck.fsnp");
+        let flags = ["--chunk", "64", "--checkpoint-every", "100"];
+
+        let mut fresh_args = vec!["estimate", p, "--chunk", "64"];
+        fresh_args.push("--top");
+        fresh_args.push("5");
+        let fresh = run_to_string(&fresh_args);
+
+        let mut first_args = vec!["estimate", p, "--checkpoint", &snap, "--top", "5"];
+        first_args.extend_from_slice(&flags);
+        let first = run_to_string(&first_args);
+        assert!(first.contains("1000 edges processed"), "{first}");
+        let prev = format!("{snap}.prev");
+        assert!(std::path::Path::new(&prev).exists(), "rotation kept .prev");
+
+        // Corrupt the newest snapshot (truncate mid-section).
+        let bytes = std::fs::read(&snap).expect("snapshot exists");
+        std::fs::write(&snap, &bytes[..bytes.len() - 5]).expect("truncate");
+
+        let resumed = run_to_string(&first_args);
+        assert!(
+            resumed.contains("is corrupt — restored last good checkpoint"),
+            "{resumed}"
+        );
+        // Everything after the fallback note equals the uninterrupted run.
+        let body: Vec<&str> = resumed.lines().skip(1).collect();
+        assert_eq!(
+            body,
+            fresh.lines().collect::<Vec<_>>(),
+            "{resumed}\nvs\n{fresh}"
+        );
+
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(snap).ok();
+        std::fs::remove_file(prev).ok();
+    }
+
+    #[test]
+    fn merge_unions_disjoint_snapshots() {
+        let mut left = String::new();
+        for d in 0..200 {
+            left.push_str(&format!("alpha item{d}\n"));
+        }
+        let mut right = String::new();
+        for d in 0..100 {
+            right.push_str(&format!("beta other{d}\n"));
+        }
+        let lp = write_temp(&left);
+        let rp = write_temp(&right);
+        let (l, r) = (
+            lp.to_str().expect("utf8 path").to_string(),
+            rp.to_str().expect("utf8 path").to_string(),
+        );
+        let (ls, rs, ms) = (
+            format!("{l}.fsnp"),
+            format!("{r}.fsnp"),
+            format!("{l}.merged.fsnp"),
+        );
+        run_to_string(&["checkpoint", &l, &ls]);
+        run_to_string(&["checkpoint", &r, &rs]);
+        let m = run_to_string(&["merge", &ls, &rs, &ms]);
+        assert!(m.contains("merged 2 snapshots"), "{m}");
+        assert!(m.contains("300 edges"), "{m}");
+        let report = run_to_string(&["restore", &ms]);
+        assert!(
+            report.contains(&format!("{:016x}", hash_id("alpha"))),
+            "{report}"
+        );
+        assert!(
+            report.contains(&format!("{:016x}", hash_id("beta"))),
+            "{report}"
+        );
+
+        // Mismatched configs must be a typed config error, not a panic.
+        let odd = format!("{r}.odd.fsnp");
+        run_to_string(&["checkpoint", &r, &odd, "--seed", "7"]);
+        let cli = Cli::parse(&["merge", &ls, &odd, &ms]).expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+
+        for f in [l, r, ls, rs, ms, odd] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn restore_of_missing_snapshot_is_a_clean_error() {
+        let cli = Cli::parse(&["restore", "/definitely/not/here.fsnp"]).expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("no snapshot at"), "{err}");
+    }
+
+    #[test]
+    fn track_with_checkpoint_restores_on_rerun() {
+        let mut content = String::new();
+        for d in 0..300 {
+            content.push_str(&format!("probe item{d}\n"));
+        }
+        let path = write_temp(&content);
+        let p = path.to_str().expect("utf8 path");
+        let snap = format!("{p}.track.fsnp");
+        let args = [
+            "track",
+            p,
+            "--user",
+            "probe",
+            "--checkpoints",
+            "5",
+            "--checkpoint",
+            &snap,
+        ];
+        let first = run_to_string(&args);
+        assert!(first.lines().count() >= 6, "{first}");
+        // Rerun: the whole trace is already checkpointed — the run
+        // restores, skips everything, and prints no new rows.
+        let second = run_to_string(&args);
+        assert!(second.contains("restored checkpoint"), "{second}");
+        assert!(second.contains("300 edges"), "{second}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(format!("{snap}.prev")).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn failed_convert_publish_cleans_up_temp_file() {
+        // Rename-failure leg of convert's atomicity: encoding succeeds but
+        // the destination cannot be replaced (it is a directory) — the
+        // error must surface and the .part staging file must be removed.
+        let tsv = write_temp("a b\nc d\n");
+        let p = tsv.to_str().expect("utf8 path");
+        let out_dir = format!("{p}.outdir");
+        std::fs::create_dir_all(&out_dir).expect("mkdir");
+        let part = format!("{out_dir}.part");
+
+        let cli = Cli::parse(&["convert", p, &out_dir]).expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("cannot move"), "{err}");
+        assert!(
+            !std::path::Path::new(&part).exists(),
+            "stale .part left behind after failed publish"
+        );
+
+        std::fs::remove_file(tsv).ok();
+        std::fs::remove_dir_all(out_dir).ok();
     }
 
     #[test]

@@ -71,6 +71,12 @@ pub trait SharedQTracker<S: ConcurrentSlotStore>: Send + Sync {
     /// Publishes a folded accumulator (no-op when the store maintains the
     /// numerator itself).
     fn commit(&self, acc: f64);
+
+    /// Unconditional exact resynchronisation against the store, called at
+    /// quiescence after an operation rewrote the store wholesale (a
+    /// snapshot merge). A no-op when the store maintains the numerator
+    /// itself.
+    fn resync(&self, store: &S);
 }
 
 /// `q_B = m₀/M` for atomic bit stores: the array maintains `m₀` with a
@@ -99,6 +105,9 @@ impl<S: ConcurrentSlotStore> SharedQTracker<S> for SharedZeroQ {
 
     #[inline]
     fn commit(&self, _acc: f64) {}
+
+    #[inline]
+    fn resync(&self, _store: &S) {}
 }
 
 /// `q_R = Z/M` for atomic register stores: `Z = Σ 2^{-R[j]}` stored as
@@ -165,6 +174,14 @@ impl<S: ConcurrentSlotStore> SharedQTracker<S> for SharedZ {
             // at quiescence.
             self.add(acc);
         }
+    }
+
+    fn resync(&self, store: &S) {
+        // ORDERING: Relaxed — quiescent-only API (merge holds the only
+        // reference paths that could write); the caller's synchronisation
+        // provides the happens-before edge.
+        self.z_bits
+            .store(store.sum_pow2_neg().to_bits(), Ordering::Relaxed);
     }
 }
 
@@ -320,6 +337,47 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEngine<S, Q> {
         out
     }
 
+    /// Unions another engine's state into this one (quiescent state only):
+    /// bitwise OR for bit stores, element-wise max for registers, per-user
+    /// counters added, then the `q` tracker resynchronised exactly against
+    /// the merged store. See [`crate::engine::SketchEngine::merge`] for the
+    /// disjoint-partition semantics.
+    ///
+    /// # Errors
+    /// [`graphstream::SnapshotError::ConfigMismatch`] when the hasher
+    /// seeds or store geometries (length, register width) differ.
+    pub fn merge(&self, other: &Self) -> Result<(), graphstream::SnapshotError>
+    where
+        S: bitpack::FreezeStore,
+    {
+        if self.hasher != other.hasher {
+            return Err(graphstream::SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "hasher seed {:#x} vs {:#x}",
+                    self.hasher.seed(),
+                    other.hasher.seed()
+                ),
+            });
+        }
+        if self.store.len() != other.store.len() || self.store.width() != other.store.width() {
+            return Err(graphstream::SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "store geometry {}x{} vs {}x{}",
+                    self.store.len(),
+                    self.store.width(),
+                    other.store.len(),
+                    other.store.width()
+                ),
+            });
+        }
+        bitpack::FreezeStore::merge_from(&self.store, &other.store);
+        other
+            .counters
+            .for_each(&mut |user, est| self.counters.add(user, est));
+        self.q.resync(&self.store);
+        Ok(())
+    }
+
     /// Verifies the maintained `q` numerator against an exact store scan
     /// (quiescent state only); returns the absolute discrepancy. For bit
     /// stores this checks the relaxed zero counter against a popcount
@@ -376,6 +434,98 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEstimator for Concu
 
     fn ingest_batch(&self, edges: &[(u64, u64)]) {
         ConcurrentEngine::process_batch(self, edges);
+    }
+}
+
+// Like the scalar engine's, the concurrent engine's (de)serialization is
+// spelled out against the vendored stand-in's `Value` tree; the atomic
+// store round-trips through its sequential frozen twin
+// ([`bitpack::FreezeStore`]) and the sharded counter map through a
+// [`hashkit::CounterMap`] snapshot, both taken at quiescence.
+#[cfg(feature = "serde")]
+impl<S, Q> serde::Serialize for ConcurrentEngine<S, Q>
+where
+    S: bitpack::FreezeStore,
+    S::Frozen: serde::Serialize,
+    Q: serde::Serialize,
+{
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("store".to_string(), self.store.freeze().serialize_value()),
+            ("hasher".to_string(), self.hasher.serialize_value()),
+            ("q".to_string(), self.q.serialize_value()),
+            (
+                "counters".to_string(),
+                self.counters.snapshot().serialize_value(),
+            ),
+        ])
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<S, Q> serde::Deserialize for ConcurrentEngine<S, Q>
+where
+    S: bitpack::FreezeStore,
+    S::Frozen: serde::Deserialize,
+    Q: serde::Deserialize,
+{
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected ConcurrentEngine map"))?;
+        let frozen = <S::Frozen>::deserialize_value(serde::map_field(map, "store")?)?;
+        // Thawing trusts the frozen array's invariants (e.g. no stray bits
+        // past its logical length), so reject inconsistent input here —
+        // checksummed snapshots are not the only callers of this impl.
+        bitpack::SlotStore::validate(&frozen).map_err(serde::Error::custom)?;
+        let snap = hashkit::CounterMap::deserialize_value(serde::map_field(map, "counters")?)?;
+        let counters = ShardedCounterMap::default();
+        snap.for_each(&mut |user, est| counters.add(user, est));
+        Ok(Self {
+            store: S::thaw(&frozen),
+            hasher: EdgeHasher::deserialize_value(serde::map_field(map, "hasher")?)?,
+            q: Q::deserialize_value(serde::map_field(map, "q")?)?,
+            counters,
+        })
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for SharedZeroQ {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for SharedZeroQ {
+    fn deserialize_value(_v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for SharedZ {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![(
+            "z_bits".to_string(),
+            // ORDERING: Relaxed — quiescent-only API (serialization runs
+            // with no concurrent writers); the caller's synchronisation
+            // provides the happens-before edge.
+            self.z_bits.load(Ordering::Relaxed).serialize_value(),
+        )])
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for SharedZ {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected SharedZ map"))?;
+        Ok(Self {
+            z_bits: AtomicU64::new(u64::deserialize_value(serde::map_field(map, "z_bits")?)?),
+        })
     }
 }
 

@@ -57,6 +57,11 @@ pub trait QTracker<S: SlotStore> {
     /// periodic `Z` rebuild). Called once per edge-growth (scalar path) or
     /// once per block (batch path).
     fn maybe_rebuild(&mut self, store: &S);
+
+    /// Unconditional exact resynchronisation against the store, called
+    /// after an operation rewrote the store wholesale (a snapshot merge).
+    /// A no-op when the store maintains the numerator itself.
+    fn resync(&mut self, store: &S);
 }
 
 /// `q_B = m₀/M` for bit stores: the array maintains `m₀` exactly, so the
@@ -82,6 +87,9 @@ impl<S: SlotStore> QTracker<S> for ZeroQ {
 
     #[inline]
     fn maybe_rebuild(&mut self, _store: &S) {}
+
+    #[inline]
+    fn resync(&mut self, _store: &S) {}
 }
 
 /// How many register-growth events may pass between exact recomputations of
@@ -139,6 +147,11 @@ impl<S: SlotStore> QTracker<S> for IncrementalZ {
         if self.growths_since_rebuild >= Z_REBUILD_INTERVAL {
             self.rebuild(store);
         }
+    }
+
+    #[inline]
+    fn resync(&mut self, store: &S) {
+        self.rebuild(store);
     }
 }
 
@@ -201,6 +214,52 @@ impl<S: SlotStore, Q: QTracker<S>> SketchEngine<S, Q> {
     /// (`FreeRS::rebuild_z`).
     pub(crate) fn store_and_q_mut(&mut self) -> (&S, &mut Q) {
         (&self.store, &mut self.q)
+    }
+
+    /// Unions another engine's state into this one: bitwise OR for bit
+    /// stores, element-wise max for registers, per-user counters and the
+    /// running total added. After the store union the `q` tracker is
+    /// resynchronised exactly, so subsequent updates use the merged state.
+    ///
+    /// The union of HT-credited counters is the estimator for the union
+    /// stream only when the two engines ingested *disjoint* partitions of
+    /// it (split-by-edge sharding); merging overlapping streams
+    /// double-counts shared edges, exactly as in the paper's distributed
+    /// sketch union.
+    ///
+    /// # Errors
+    /// [`graphstream::SnapshotError::ConfigMismatch`] when the hasher
+    /// seeds or store geometries (length, register width) differ — such
+    /// sketches place edges in unrelated slots and their union is
+    /// meaningless.
+    pub fn merge(&mut self, other: &Self) -> Result<(), graphstream::SnapshotError> {
+        if self.hasher != other.hasher {
+            return Err(graphstream::SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "hasher seed {:#x} vs {:#x}",
+                    self.hasher.seed(),
+                    other.hasher.seed()
+                ),
+            });
+        }
+        if self.store.len() != other.store.len() || self.store.width() != other.store.width() {
+            return Err(graphstream::SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "store geometry {}x{} vs {}x{}",
+                    self.store.len(),
+                    self.store.width(),
+                    other.store.len(),
+                    other.store.width()
+                ),
+            });
+        }
+        self.store.merge_from(&other.store);
+        other
+            .estimates
+            .for_each(&mut |user, est| self.estimates.add(user, est));
+        self.total += other.total;
+        self.q.resync(&self.store);
+        Ok(())
     }
 
     /// The update value an edge hash carries: a saturated geometric rank

@@ -10,7 +10,7 @@
 
 use crate::concurrent::ConcurrentEstimator;
 use crate::CardinalityEstimator;
-use graphstream::{Edge, EdgeSource, EdgeStreamError};
+use graphstream::{Edge, EdgeSource, EdgeStreamError, SnapshotError};
 
 /// Default edges per reader chunk: 64k edges = 1 MiB of `Edge`s, large
 /// enough to amortize I/O and the batch pipeline, small enough that a
@@ -30,17 +30,37 @@ pub fn stream_into(
     chunk: usize,
     batch: usize,
 ) -> Result<u64, EdgeStreamError> {
+    stream_into_hooked(est, src, chunk, batch, &mut |_| Ok(()))
+}
+
+/// [`stream_into`] with a chunk-boundary hook: after each fully applied
+/// chunk (and once more at exhaustion), `hook(edges_so_far)` runs with the
+/// estimator in a consistent state — the seam incremental checkpointing
+/// plugs into.
+///
+/// # Errors
+/// Stops at the first source error or the first hook error; edges of
+/// earlier chunks have already been applied.
+pub fn stream_into_hooked<E: From<EdgeStreamError>>(
+    est: &mut dyn CardinalityEstimator,
+    src: &mut dyn EdgeSource,
+    chunk: usize,
+    batch: usize,
+    hook: &mut dyn FnMut(u64) -> Result<(), E>,
+) -> Result<u64, E> {
     let chunk = chunk.max(1);
     let mut buf: Vec<Edge> = Vec::with_capacity(chunk);
     let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(if batch == 0 { 0 } else { chunk });
     let mut total = 0u64;
     loop {
-        let n = src.next_chunk(&mut buf, chunk)?;
+        let n = src.next_chunk(&mut buf, chunk).map_err(E::from)?;
         if n == 0 {
+            hook(total)?;
             return Ok(total);
         }
         ingest_slice(est, &buf, &mut pairs, batch);
         total += n as u64;
+        hook(total)?;
     }
 }
 
@@ -83,14 +103,34 @@ pub fn stream_into_parallel(
     batch: usize,
     threads: usize,
 ) -> Result<u64, EdgeStreamError> {
+    stream_into_parallel_hooked(est, src, chunk, batch, threads, &mut |_| Ok(()))
+}
+
+/// [`stream_into_parallel`] with a chunk-boundary hook. The hook runs
+/// between chunks — after the thread-scope join, the only quiescent points
+/// of the parallel drive — and once more at exhaustion, so it always sees
+/// a consistent estimator (the seam incremental checkpointing plugs into).
+///
+/// # Errors
+/// Stops at the first source error or the first hook error; edges of
+/// earlier chunks have already been applied.
+pub fn stream_into_parallel_hooked<E: From<EdgeStreamError>>(
+    est: &dyn ConcurrentEstimator,
+    src: &mut dyn EdgeSource,
+    chunk: usize,
+    batch: usize,
+    threads: usize,
+    hook: &mut dyn FnMut(u64) -> Result<(), E>,
+) -> Result<u64, E> {
     let chunk = chunk.max(1);
     let threads = threads.max(1);
     let mut buf: Vec<Edge> = Vec::with_capacity(chunk);
     let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(chunk);
     let mut total = 0u64;
     loop {
-        let n = src.next_chunk(&mut buf, chunk)?;
+        let n = src.next_chunk(&mut buf, chunk).map_err(E::from)?;
         if n == 0 {
+            hook(total)?;
             return Ok(total);
         }
         pairs.clear();
@@ -112,6 +152,69 @@ pub fn stream_into_parallel(
             }
         });
         total += n as u64;
+        hook(total)?;
+    }
+}
+
+/// Reads and discards up to `n` edges from `src` (in `chunk`-sized reads),
+/// returning how many were skipped — fewer than `n` only when the source
+/// ends early. Restoring from a checkpoint uses this to fast-forward the
+/// stream to the recorded offset before resuming ingest.
+///
+/// # Errors
+/// Stops at the first source error.
+pub fn skip_edges(src: &mut dyn EdgeSource, n: u64, chunk: usize) -> Result<u64, EdgeStreamError> {
+    let chunk = chunk.max(1);
+    let mut buf: Vec<Edge> = Vec::with_capacity(chunk);
+    let mut skipped = 0u64;
+    while skipped < n {
+        let want = usize::try_from((n - skipped).min(chunk as u64)).unwrap_or(chunk);
+        let got = src.next_chunk(&mut buf, want)?;
+        if got == 0 {
+            break;
+        }
+        skipped += got as u64;
+    }
+    Ok(skipped)
+}
+
+/// Error of a checkpointed ingest drive: either the edge stream failed
+/// (I/O, corrupt trace) or writing a checkpoint snapshot did.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The edge source failed.
+    Stream(EdgeStreamError),
+    /// Writing (or rotating) a checkpoint snapshot failed.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Stream(e) => write!(f, "edge stream: {e}"),
+            Self::Snapshot(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Stream(e) => Some(e),
+            Self::Snapshot(e) => Some(e),
+        }
+    }
+}
+
+impl From<EdgeStreamError> for IngestError {
+    fn from(e: EdgeStreamError) -> Self {
+        Self::Stream(e)
+    }
+}
+
+impl From<SnapshotError> for IngestError {
+    fn from(e: SnapshotError) -> Self {
+        Self::Snapshot(e)
     }
 }
 

@@ -74,6 +74,8 @@ pub mod ingest;
 mod jointlpc;
 mod peruser;
 mod sharded;
+#[cfg(feature = "serde")]
+pub mod snapshot;
 mod spreader;
 pub mod theory;
 mod vhll;
@@ -92,10 +94,17 @@ pub use cse::Cse;
 pub use engine::{IncrementalZ, QTracker, SketchEngine, ZeroQ};
 pub use freebs::FreeBS;
 pub use freers::FreeRS;
-pub use ingest::{stream_into, stream_into_parallel};
+pub use ingest::{
+    skip_edges, stream_into, stream_into_hooked, stream_into_parallel, stream_into_parallel_hooked,
+    IngestError,
+};
 pub use jointlpc::JointLpc;
 pub use peruser::{PerUserHllpp, PerUserLpc};
 pub use sharded::{ShardedFreeBS, ShardedFreeRS, ShardedSketch};
+#[cfg(feature = "serde")]
+pub use snapshot::{
+    load_snapshot, load_with_fallback, save_snapshot, save_snapshot_file, AnySketch, Checkpointer,
+};
 pub use spreader::{detect_spreaders, SpreaderReport};
 pub use vhll::VHll;
 pub use window::Windowed;

@@ -166,6 +166,48 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ShardedSketch<S, Q> {
     pub fn memory_bits(&self) -> usize {
         self.shards.iter().map(ConcurrentEngine::memory_bits).sum()
     }
+
+    /// Read-only view of the shards (for snapshot validation and tests).
+    #[must_use]
+    pub fn shards(&self) -> &[ConcurrentEngine<S, Q>] {
+        &self.shards
+    }
+
+    /// Unions another sharded sketch into this one, shard by shard
+    /// (quiescent state only). See
+    /// [`crate::engine::SketchEngine::merge`] for the disjoint-partition
+    /// semantics.
+    ///
+    /// # Errors
+    /// [`graphstream::SnapshotError::ConfigMismatch`] when the shard
+    /// counts or router seeds differ, or any shard pair's config differs.
+    pub fn merge(&self, other: &Self) -> Result<(), graphstream::SnapshotError>
+    where
+        S: bitpack::FreezeStore,
+    {
+        if self.shards.len() != other.shards.len() {
+            return Err(graphstream::SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "shard count {} vs {}",
+                    self.shards.len(),
+                    other.shards.len()
+                ),
+            });
+        }
+        if self.router != other.router {
+            return Err(graphstream::SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "router seed {:#x} vs {:#x}",
+                    self.router.seed(),
+                    other.router.seed()
+                ),
+            });
+        }
+        for (a, b) in self.shards.iter().zip(other.shards.iter()) {
+            a.merge(b)?;
+        }
+        Ok(())
+    }
 }
 
 impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> CardinalityEstimator for ShardedSketch<S, Q> {
@@ -208,6 +250,60 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEstimator for Shard
 
     fn ingest_batch(&self, edges: &[(u64, u64)]) {
         ShardedSketch::process_batch(self, edges);
+    }
+}
+
+// Manual (de)serialization against the vendored stand-in's `Value` tree,
+// like the engines'. Deserialization re-validates the structural invariants
+// `from_engines` asserts (non-empty, power-of-two shard count) as typed
+// errors — snapshot bytes are untrusted input and must never panic.
+#[cfg(feature = "serde")]
+impl<S, Q> serde::Serialize for ShardedSketch<S, Q>
+where
+    ConcurrentEngine<S, Q>: serde::Serialize,
+{
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "shards".to_string(),
+                serde::Value::Seq(
+                    self.shards
+                        .iter()
+                        .map(serde::Serialize::serialize_value)
+                        .collect(),
+                ),
+            ),
+            ("router".to_string(), self.router.serialize_value()),
+        ])
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<S, Q> serde::Deserialize for ShardedSketch<S, Q>
+where
+    ConcurrentEngine<S, Q>: serde::Deserialize,
+{
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected ShardedSketch map"))?;
+        let serde::Value::Seq(items) = serde::map_field(map, "shards")? else {
+            return Err(serde::Error::custom("expected shard sequence"));
+        };
+        let shards = items
+            .iter()
+            .map(ConcurrentEngine::<S, Q>::deserialize_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        if shards.is_empty() || !shards.len().is_power_of_two() {
+            return Err(serde::Error::custom(format!(
+                "shard count {} must be a non-zero power of two",
+                shards.len()
+            )));
+        }
+        Ok(Self {
+            shards: shards.into_boxed_slice(),
+            router: EdgeHasher::deserialize_value(serde::map_field(map, "router")?)?,
+        })
     }
 }
 

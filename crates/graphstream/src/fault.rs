@@ -1,0 +1,196 @@
+//! Fault-injection wrappers for durability testing.
+//!
+//! [`FaultWriter`] simulates a torn write (power loss mid-`write`):
+//! everything past a byte cutoff is silently dropped while the writer
+//! keeps reporting success — exactly what a kernel page-cache loss looks
+//! like to the application. [`FaultReader`] simulates media damage on the
+//! read path: truncation at an arbitrary offset and single-bit flips.
+//!
+//! The snapshot proptests drive these to prove every injected fault
+//! surfaces as a typed [`crate::snapshot::SnapshotError`], never a panic
+//! or a silently-wrong sketch.
+
+use std::io::{Read, Write};
+
+/// A writer that silently discards every byte past `cutoff` — the
+/// application believes the write succeeded, but the tail never lands.
+#[derive(Debug)]
+pub struct FaultWriter<W: Write> {
+    inner: W,
+    cutoff: u64,
+    written: u64,
+}
+
+impl<W: Write> FaultWriter<W> {
+    /// Wraps `inner`, passing through the first `cutoff` bytes and
+    /// dropping the rest.
+    pub fn new(inner: W, cutoff: u64) -> Self {
+        Self {
+            inner,
+            cutoff,
+            written: 0,
+        }
+    }
+
+    /// Total bytes the caller attempted to write (landed or torn).
+    #[must_use]
+    pub fn attempted(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let landed = self.cutoff.saturating_sub(self.written);
+        let take = usize::try_from(landed.min(buf.len() as u64)).unwrap_or(buf.len());
+        if take > 0 {
+            self.inner.write_all(&buf[..take])?;
+        }
+        self.written += buf.len() as u64;
+        // Report full success: a torn write is invisible to the writer.
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Which single fault a [`FaultReader`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Pass bytes through untouched.
+    None,
+    /// End the stream after `offset` bytes, as if the file were cut.
+    TruncateAt(u64),
+    /// XOR bit `bit` (0..8) of the byte at `offset` as it streams past.
+    FlipBit {
+        /// Byte offset of the damaged byte.
+        offset: u64,
+        /// Bit index within the byte, `0..8`.
+        bit: u8,
+    },
+}
+
+/// A reader that injects one [`Fault`] into the byte stream it wraps.
+#[derive(Debug)]
+pub struct FaultReader<R: Read> {
+    inner: R,
+    fault: Fault,
+    pos: u64,
+}
+
+impl<R: Read> FaultReader<R> {
+    /// Wraps `inner`, injecting `fault`.
+    pub fn new(inner: R, fault: Fault) -> Self {
+        Self {
+            inner,
+            fault,
+            pos: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for FaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let limit = match self.fault {
+            Fault::TruncateAt(at) => {
+                let left = at.saturating_sub(self.pos);
+                if left == 0 {
+                    return Ok(0);
+                }
+                usize::try_from(left.min(buf.len() as u64)).unwrap_or(buf.len())
+            }
+            _ => buf.len(),
+        };
+        let n = self.inner.read(&mut buf[..limit])?;
+        if let Fault::FlipBit { offset, bit } = self.fault {
+            if offset >= self.pos && offset < self.pos + n as u64 {
+                let i = usize::try_from(offset - self.pos).unwrap_or(0);
+                buf[i] ^= 1 << (bit & 7);
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_write_drops_the_tail_silently() {
+        let mut w = FaultWriter::new(Vec::new(), 5);
+        w.write_all(b"abc").expect("reports success");
+        w.write_all(b"defgh").expect("reports success");
+        assert_eq!(w.attempted(), 8);
+        assert_eq!(w.into_inner(), b"abcde");
+    }
+
+    #[test]
+    fn torn_write_at_zero_lands_nothing() {
+        let mut w = FaultWriter::new(Vec::new(), 0);
+        w.write_all(b"payload").expect("reports success");
+        assert!(w.into_inner().is_empty());
+    }
+
+    #[test]
+    fn truncate_cuts_the_stream() {
+        let data = (0u8..100).collect::<Vec<_>>();
+        let mut r = FaultReader::new(data.as_slice(), Fault::TruncateAt(37));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).expect("read");
+        assert_eq!(out, &data[..37]);
+    }
+
+    #[test]
+    fn flip_bit_damages_exactly_one_bit() {
+        let data = vec![0u8; 64];
+        for offset in [0u64, 1, 31, 63] {
+            for bit in 0..8u8 {
+                let mut r = FaultReader::new(data.as_slice(), Fault::FlipBit { offset, bit });
+                let mut out = Vec::new();
+                r.read_to_end(&mut out).expect("read");
+                let mut expected = data.clone();
+                expected[usize::try_from(offset).expect("small")] ^= 1 << bit;
+                assert_eq!(out, expected, "offset {offset} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_survives_small_read_chunks() {
+        // The flip must land even when reads straddle the offset.
+        struct OneByte<R: Read>(R);
+        impl<R: Read> Read for OneByte<R> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let take = 1.min(buf.len());
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let data = vec![0xFFu8; 16];
+        let mut r = FaultReader::new(
+            OneByte(data.as_slice()),
+            Fault::FlipBit { offset: 9, bit: 3 },
+        );
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).expect("read");
+        assert_eq!(out[9], 0xFF ^ (1 << 3));
+        assert_eq!(out.iter().filter(|&&b| b != 0xFF).count(), 1);
+    }
+
+    #[test]
+    fn none_is_a_clean_passthrough() {
+        let data = b"untouched".to_vec();
+        let mut r = FaultReader::new(data.as_slice(), Fault::None);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).expect("read");
+        assert_eq!(out, data);
+    }
+}

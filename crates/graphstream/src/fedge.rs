@@ -58,6 +58,24 @@ pub enum FedgeError {
     },
 }
 
+impl FedgeError {
+    /// Byte offset into the file where the corruption was detected, when
+    /// the error pins one down — operators can `dd`/hex-dump straight to
+    /// the damage. `Io` errors carry no position.
+    #[must_use]
+    pub fn byte_offset(&self) -> Option<u64> {
+        match self {
+            Self::Io(_) => None,
+            Self::BadMagic { .. } => Some(0),
+            Self::UnsupportedVersion { .. } => Some(4),
+            Self::TruncatedHeader { len } => Some(*len as u64),
+            Self::TruncatedRecord { record, len } => {
+                Some(FEDGE_HEADER_LEN as u64 + record * FEDGE_RECORD_LEN as u64 + *len as u64)
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for FedgeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -82,7 +100,9 @@ impl std::fmt::Display for FedgeError {
             }
             Self::TruncatedRecord { record, len } => write!(
                 f,
-                "truncated fedge record {record}: {len} of {FEDGE_RECORD_LEN} bytes (corrupt tail)"
+                "truncated fedge record {record}: {len} of {FEDGE_RECORD_LEN} bytes \
+                 (corrupt tail at byte offset {})",
+                FEDGE_HEADER_LEN as u64 + record * FEDGE_RECORD_LEN as u64 + *len as u64,
             ),
         }
     }
@@ -383,14 +403,40 @@ mod tests {
         for cut in 1..FEDGE_RECORD_LEN {
             let end = FEDGE_HEADER_LEN + 7 * FEDGE_RECORD_LEN + cut;
             let err = decode_stream(&bytes[..end], 4).expect_err("must fail");
-            match err {
+            match &err {
                 FedgeError::TruncatedRecord { record, len } => {
-                    assert_eq!(record, 7, "cut {cut}");
-                    assert_eq!(len, cut, "cut {cut}");
+                    assert_eq!(*record, 7, "cut {cut}");
+                    assert_eq!(*len, cut, "cut {cut}");
+                    // The reported byte offset is exactly where the file
+                    // was cut, and the message localizes the damage.
+                    assert_eq!(err.byte_offset(), Some(end as u64), "cut {cut}");
+                    assert!(
+                        err.to_string().contains(&format!("byte offset {end}")),
+                        "cut {cut}: {err}"
+                    );
                 }
                 other => panic!("cut {cut}: wrong error: {other}"),
             }
         }
+    }
+
+    #[test]
+    fn byte_offsets_localize_header_damage() {
+        let bytes = encode_stream(&[Edge::new(1, 2)]);
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        let err = FedgeReader::new(&bad[..]).expect_err("bad magic");
+        assert_eq!(err.byte_offset(), Some(0));
+        let mut skew = bytes.clone();
+        skew[4] = 9;
+        let err = FedgeReader::new(&skew[..]).expect_err("version skew");
+        assert_eq!(err.byte_offset(), Some(4));
+        let err = FedgeReader::new(&bytes[..5]).expect_err("short header");
+        assert_eq!(err.byte_offset(), Some(5));
+        assert_eq!(
+            FedgeError::Io(std::io::Error::other("x")).byte_offset(),
+            None
+        );
     }
 
     #[test]

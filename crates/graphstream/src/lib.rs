@@ -20,20 +20,29 @@
 //!   ids hashed to `u64` under a fixed seed);
 //! * [`source`] — the [`EdgeSource`] chunk-at-a-time streaming trait, so
 //!   traces far larger than memory flow to the estimators through a
-//!   bounded buffer.
+//!   bounded buffer;
+//! * [`snapshot`] — the checksummed `FSNP` snapshot container (sectioned,
+//!   per-section CRC32, typed [`SnapshotError`]) that sketch state
+//!   persists through;
+//! * [`fault`] — [`FaultWriter`]/[`FaultReader`] fault injection (torn
+//!   writes, truncation, bit flips) for durability tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod fedge;
 pub mod profiles;
+pub mod snapshot;
 pub mod source;
 pub mod synth;
 mod truth;
 pub mod tsv;
 
+pub use fault::{Fault, FaultReader, FaultWriter};
 pub use fedge::{FedgeError, FedgeReader, FedgeWriter};
 pub use profiles::{DatasetProfile, PROFILES};
+pub use snapshot::SnapshotError;
 pub use source::{EdgeSource, EdgeStreamError, SliceSource};
 pub use synth::{SynthConfig, SynthStream};
 pub use truth::GroundTruth;

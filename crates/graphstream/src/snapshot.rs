@@ -1,0 +1,800 @@
+//! `fsnp` — the checksummed binary container sketch snapshots live in.
+//!
+//! A snapshot file is a sequence of independently CRC-checked sections:
+//!
+//! ```text
+//! magic "FSNP" (4) | version u16 LE | section count u16 LE      header, 8 B
+//! tag (4) | crc32 u32 LE | payload length u64 LE | payload      per section
+//! ```
+//!
+//! The container knows nothing about sketches: sections are `(tag, bytes)`
+//! pairs, and the sketch layer (`freesketch::snapshot`) decides that one
+//! section holds the config, one the bit/register arrays, one the counter
+//! maps — so corruption is localized to a section and reported with its
+//! tag. Every decode failure is a typed [`SnapshotError`]; corrupt input
+//! must never panic, allocate unboundedly, or round-trip silently wrong
+//! (the per-section CRC32 catches torn writes, truncation and bit flips
+//! that the fixed-layout parse alone would miss).
+//!
+//! The [`encode_value`]/[`decode_value`] pair (feature `serde`) is the
+//! section payload codec: a compact tagged binary encoding of the vendored
+//! serde stand-in's `Value` tree, with a fast path packing homogeneous
+//! `u64` sequences (bit-array words, register words) at 8 bytes per
+//! element.
+
+use std::io::{Read, Write};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FSNP";
+
+/// Current container version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Container header length in bytes: magic + version + section count.
+pub const SNAPSHOT_HEADER_LEN: usize = 8;
+
+/// Per-section header length in bytes: tag + CRC32 + payload length.
+pub const SECTION_HEADER_LEN: usize = 16;
+
+/// One decoded container section: its 4-byte tag and its payload bytes
+/// (CRC already verified by [`read_sections`]).
+pub type Section = ([u8; 4], Vec<u8>);
+
+/// Errors reading or writing a snapshot. Every way a snapshot can be
+/// corrupt — wrong file, version skew, truncation at any byte offset, bit
+/// flips, shape drift, incompatible configurations — maps to a variant
+/// here; corrupt input never panics.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic {
+        /// The bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The container version is newer than this build understands.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u16,
+    },
+    /// The file ends inside the 8-byte container header.
+    TruncatedHeader {
+        /// How many header bytes were present.
+        len: usize,
+    },
+    /// A section's payload (or its 16-byte header) ends early.
+    TruncatedSection {
+        /// The section's tag (`*` bytes for an unreadable tag).
+        tag: [u8; 4],
+        /// Bytes the section header promised.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// A section's payload does not match its stored CRC32 — a torn
+    /// write, bit flip, or silent media error.
+    CrcMismatch {
+        /// The damaged section's tag.
+        tag: [u8; 4],
+    },
+    /// A section the reader requires is absent.
+    MissingSection {
+        /// The absent section's tag.
+        tag: [u8; 4],
+    },
+    /// The bytes checksum correctly but do not decode to a valid value
+    /// (shape drift, out-of-range field, nesting bomb).
+    Malformed {
+        /// What failed to decode.
+        detail: String,
+    },
+    /// Two sketches (or a sketch and the command line) disagree on
+    /// configuration — merge and restore refuse rather than mix states.
+    ConfigMismatch {
+        /// Which parameter disagrees, with both values.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            Self::BadMagic { found } => write!(
+                f,
+                "not a snapshot file: expected magic {:?} at byte offset 0, found {:?}",
+                String::from_utf8_lossy(&SNAPSHOT_MAGIC),
+                String::from_utf8_lossy(found),
+            ),
+            Self::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads \
+                 {SNAPSHOT_VERSION})"
+            ),
+            Self::TruncatedHeader { len } => write!(
+                f,
+                "truncated snapshot header: {len} of {SNAPSHOT_HEADER_LEN} bytes"
+            ),
+            Self::TruncatedSection { tag, expected, got } => write!(
+                f,
+                "truncated snapshot section `{}`: {got} of {expected} payload bytes \
+                 (file cut mid-section)",
+                String::from_utf8_lossy(tag),
+            ),
+            Self::CrcMismatch { tag } => write!(
+                f,
+                "checksum mismatch in snapshot section `{}`: payload corrupt \
+                 (torn write or bit flip)",
+                String::from_utf8_lossy(tag),
+            ),
+            Self::MissingSection { tag } => write!(
+                f,
+                "snapshot is missing required section `{}`",
+                String::from_utf8_lossy(tag),
+            ),
+            Self::Malformed { detail } => write!(f, "malformed snapshot: {detail}"),
+            Self::ConfigMismatch { detail } => {
+                write!(f, "snapshot configuration mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
+/// guarding every section payload. Table-driven, table built at compile
+/// time; matches zlib's `crc32()`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_raw(!0u32, bytes)
+}
+
+// Streaming form (pre/post inversion left to the caller) so a section's
+// checksum can cover its tag and payload without concatenating them.
+fn crc32_raw(mut crc: u32, bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+// A section's checksum covers its 4-byte tag and its payload, so a bit
+// flip in the tag is caught the same as one in the payload.
+fn section_crc(tag: &[u8; 4], payload: &[u8]) -> u32 {
+    !crc32_raw(crc32_raw(!0u32, tag), payload)
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Writes a complete snapshot container: header, then each `(tag,
+/// payload)` section with its CRC32.
+///
+/// # Errors
+/// Propagates I/O failures from `w`; there are no other failure modes on
+/// the write path.
+pub fn write_sections(
+    w: &mut dyn Write,
+    sections: &[([u8; 4], &[u8])],
+) -> Result<(), SnapshotError> {
+    let mut header = [0u8; SNAPSHOT_HEADER_LEN];
+    header[..4].copy_from_slice(&SNAPSHOT_MAGIC);
+    header[4..6].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    let count = u16::try_from(sections.len()).map_err(|_| SnapshotError::Malformed {
+        detail: format!("{} sections exceed the u16 section count", sections.len()),
+    })?;
+    header[6..8].copy_from_slice(&count.to_le_bytes());
+    w.write_all(&header)?;
+    for (tag, payload) in sections {
+        let mut sh = [0u8; SECTION_HEADER_LEN];
+        sh[..4].copy_from_slice(tag);
+        sh[4..8].copy_from_slice(&section_crc(tag, payload).to_le_bytes());
+        sh[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        w.write_all(&sh)?;
+        w.write_all(payload)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a complete snapshot container, validating the magic, the
+/// version, every section's length and every section's CRC32.
+///
+/// Reads are incremental (`Read::take`), so a corrupt length field on a
+/// short file surfaces as [`SnapshotError::TruncatedSection`] — never as
+/// an allocation of the claimed size.
+///
+/// # Errors
+/// Any [`SnapshotError`] variant describing where the container is
+/// damaged.
+pub fn read_sections(r: &mut dyn Read) -> Result<Vec<Section>, SnapshotError> {
+    let mut header = [0u8; SNAPSHOT_HEADER_LEN];
+    let got = read_up_to(r, &mut header)?;
+    if got >= 4 {
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&header[..4]);
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+    }
+    if got < SNAPSHOT_HEADER_LEN {
+        return Err(SnapshotError::TruncatedHeader { len: got });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let count = u16::from_le_bytes([header[6], header[7]]);
+    let mut sections = Vec::with_capacity(usize::from(count));
+    for _ in 0..count {
+        let mut sh = [0u8; SECTION_HEADER_LEN];
+        let got = read_up_to(r, &mut sh)?;
+        if got < SECTION_HEADER_LEN {
+            let mut tag = *b"****";
+            if got >= 4 {
+                tag.copy_from_slice(&sh[..4]);
+            }
+            return Err(SnapshotError::TruncatedSection {
+                tag,
+                expected: SECTION_HEADER_LEN as u64,
+                got: got as u64,
+            });
+        }
+        let mut tag = [0u8; 4];
+        tag.copy_from_slice(&sh[..4]);
+        let crc = u32::from_le_bytes([sh[4], sh[5], sh[6], sh[7]]);
+        let len =
+            u64::from_le_bytes([sh[8], sh[9], sh[10], sh[11], sh[12], sh[13], sh[14], sh[15]]);
+        // Incremental read via `take`: a bogus multi-terabyte length on a
+        // truncated file reads only what exists.
+        let mut payload = Vec::new();
+        r.take(len).read_to_end(&mut payload)?;
+        if (payload.len() as u64) < len {
+            return Err(SnapshotError::TruncatedSection {
+                tag,
+                expected: len,
+                got: payload.len() as u64,
+            });
+        }
+        if section_crc(&tag, &payload) != crc {
+            return Err(SnapshotError::CrcMismatch { tag });
+        }
+        sections.push((tag, payload));
+    }
+    Ok(sections)
+}
+
+/// Finds a required section by tag in a read container.
+///
+/// # Errors
+/// [`SnapshotError::MissingSection`] when absent.
+pub fn find_section<'a>(sections: &'a [Section], tag: &[u8; 4]) -> Result<&'a [u8], SnapshotError> {
+    sections
+        .iter()
+        .find(|(t, _)| t == tag)
+        .map(|(_, p)| p.as_slice())
+        .ok_or(SnapshotError::MissingSection { tag: *tag })
+}
+
+/// Sniffs whether `prefix` plausibly starts a snapshot file (enough bytes
+/// and the right magic) — the CLI uses this to give "not a snapshot"
+/// errors before attempting a full parse.
+#[must_use]
+pub fn is_snapshot_prefix(prefix: &[u8]) -> bool {
+    prefix.len() >= 4 && prefix[..4] == SNAPSHOT_MAGIC
+}
+
+// Tolerates short reads and interrupts: loops until `buf` is full or EOF,
+// returning how many bytes were read (mirrors `fedge::read_up_to`).
+fn read_up_to(reader: &mut dyn Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+// ---------------------------------------------------------------------------
+// Binary Value codec (the section payload encoding).
+// ---------------------------------------------------------------------------
+
+/// One-byte type tags of the binary `Value` encoding.
+#[cfg(feature = "serde")]
+mod tag {
+    pub const NULL: u8 = 0x00;
+    pub const BOOL: u8 = 0x01;
+    pub const U64: u8 = 0x02;
+    pub const I64: u8 = 0x03;
+    pub const F64: u8 = 0x04;
+    pub const STR: u8 = 0x05;
+    pub const SEQ: u8 = 0x06;
+    pub const MAP: u8 = 0x07;
+    /// Fast path: a sequence whose elements are all `Value::U64`, packed
+    /// as raw LE words — bit-array and register words encode at 8 B each
+    /// instead of 9.
+    pub const SEQ_U64: u8 = 0x08;
+}
+
+/// Deepest `Seq`/`Map` nesting the decoder accepts. Real sketch values
+/// nest 4–5 levels; the cap turns a crafted nesting bomb into a typed
+/// error instead of a stack overflow.
+#[cfg(feature = "serde")]
+const MAX_DEPTH: usize = 64;
+
+/// Encodes a `Value` tree into the compact tagged binary form
+/// [`decode_value`] reads.
+#[cfg(feature = "serde")]
+#[must_use]
+pub fn encode_value(v: &serde::Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(v, &mut out);
+    out
+}
+
+#[cfg(feature = "serde")]
+fn encode_into(v: &serde::Value, out: &mut Vec<u8>) {
+    use serde::Value;
+    match v {
+        Value::Null => out.push(tag::NULL),
+        Value::Bool(b) => {
+            out.push(tag::BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::U64(n) => {
+            out.push(tag::U64);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::I64(n) => {
+            out.push(tag::I64);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(tag::F64);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(tag::STR);
+            encode_str(s, out);
+        }
+        Value::Seq(items) => {
+            if items.iter().all(|i| matches!(i, Value::U64(_))) && !items.is_empty() {
+                out.push(tag::SEQ_U64);
+                out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+                for i in items {
+                    if let Value::U64(n) = i {
+                        out.extend_from_slice(&n.to_le_bytes());
+                    }
+                }
+            } else {
+                out.push(tag::SEQ);
+                out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+                for i in items {
+                    encode_into(i, out);
+                }
+            }
+        }
+        Value::Map(entries) => {
+            out.push(tag::MAP);
+            out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for (k, val) in entries {
+                encode_str(k, out);
+                encode_into(val, out);
+            }
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Decodes a binary payload produced by [`encode_value`] back into a
+/// `Value` tree. Rejects trailing garbage.
+///
+/// # Errors
+/// [`SnapshotError::Malformed`] on any shape violation: unknown tag,
+/// element counts exceeding the remaining bytes (so corrupt counts cannot
+/// trigger huge allocations), over-deep nesting, invalid UTF-8, or bytes
+/// left over after the root value.
+#[cfg(feature = "serde")]
+pub fn decode_value(bytes: &[u8]) -> Result<serde::Value, SnapshotError> {
+    let mut cur = Cursor { b: bytes, pos: 0 };
+    let v = decode_at(&mut cur, 0)?;
+    if cur.pos != bytes.len() {
+        return Err(malformed(format!(
+            "{} trailing bytes after value at offset {}",
+            bytes.len() - cur.pos,
+            cur.pos
+        )));
+    }
+    Ok(v)
+}
+
+#[cfg(feature = "serde")]
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+#[cfg(feature = "serde")]
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let remaining = self.b.len() - self.pos;
+        if n > remaining {
+            return Err(malformed(format!(
+                "need {n} bytes at offset {}, only {remaining} remain",
+                self.pos
+            )));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// A declared element count, sanity-checked against the bytes left:
+    /// each element occupies at least `min_bytes`, so a count the payload
+    /// cannot possibly hold is malformed — not a `Vec::with_capacity`
+    /// bomb.
+    fn count(&mut self, min_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        let remaining = (self.b.len() - self.pos) as u64;
+        let min = min_bytes.max(1) as u64;
+        if n > remaining / min + 1 {
+            return Err(malformed(format!(
+                "element count {n} exceeds what {remaining} remaining bytes can hold"
+            )));
+        }
+        usize::try_from(n).map_err(|_| malformed(format!("element count {n} overflows usize")))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| malformed(format!("invalid UTF-8 in string at offset {}", self.pos)))
+    }
+}
+
+#[cfg(feature = "serde")]
+fn malformed(detail: String) -> SnapshotError {
+    SnapshotError::Malformed { detail }
+}
+
+#[cfg(feature = "serde")]
+fn decode_at(cur: &mut Cursor<'_>, depth: usize) -> Result<serde::Value, SnapshotError> {
+    use serde::Value;
+    if depth > MAX_DEPTH {
+        return Err(malformed(format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
+    let t = cur.u8()?;
+    match t {
+        tag::NULL => Ok(Value::Null),
+        tag::BOOL => match cur.u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            other => Err(malformed(format!("invalid bool byte {other:#04x}"))),
+        },
+        tag::U64 => Ok(Value::U64(cur.u64()?)),
+        tag::I64 => Ok(Value::I64(cur.u64()? as i64)),
+        tag::F64 => Ok(Value::F64(f64::from_bits(cur.u64()?))),
+        tag::STR => Ok(Value::Str(cur.str()?)),
+        tag::SEQ => {
+            let n = cur.count(1)?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_at(cur, depth + 1)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        tag::SEQ_U64 => {
+            let n = cur.count(8)?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(Value::U64(cur.u64()?));
+            }
+            Ok(Value::Seq(items))
+        }
+        tag::MAP => {
+            let n = cur.count(2)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = cur.str()?;
+                let v = decode_at(cur, depth + 1)?;
+                entries.push((k, v));
+            }
+            Ok(Value::Map(entries))
+        }
+        other => Err(malformed(format!(
+            "unknown value tag {other:#04x} at offset {}",
+            cur.pos - 1
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn container(sections: &[([u8; 4], &[u8])]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_sections(&mut out, sections).expect("in-memory write");
+        out
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values (same as zlib / `cksum -o 3`).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_sections() {
+        let bytes = container(&[
+            (*b"AAAA", b"hello"),
+            (*b"BBBB", b""),
+            (*b"CCCC", &[0u8; 100]),
+        ]);
+        let sections = read_sections(&mut bytes.as_slice()).expect("clean read");
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0], (*b"AAAA", b"hello".to_vec()));
+        assert_eq!(sections[1], (*b"BBBB", Vec::new()));
+        assert_eq!(sections[2].1.len(), 100);
+        assert_eq!(find_section(&sections, b"BBBB").expect("present"), b"");
+        assert!(matches!(
+            find_section(&sections, b"ZZZZ"),
+            Err(SnapshotError::MissingSection { tag }) if &tag == b"ZZZZ"
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let err = read_sections(&mut &b"FEDG\x01\x00\x00\x00"[..]).expect_err("bad magic");
+        assert!(matches!(err, SnapshotError::BadMagic { found } if &found == b"FEDG"));
+        assert!(err.to_string().contains("byte offset 0"), "{err}");
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut bytes = container(&[(*b"AAAA", b"x")]);
+        bytes[4] = 9; // version 9
+        let err = read_sections(&mut bytes.as_slice()).expect_err("version skew");
+        assert!(matches!(
+            err,
+            SnapshotError::UnsupportedVersion { found: 9 }
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_typed() {
+        // Cutting the container anywhere must yield a typed error — and
+        // bad-magic outranks truncation only when the magic bytes are
+        // actually wrong.
+        let bytes = container(&[(*b"AAAA", b"payload-one"), (*b"BBBB", b"p2")]);
+        for cut in 0..bytes.len() {
+            let err = read_sections(&mut &bytes[..cut]).expect_err("truncated");
+            match (cut, &err) {
+                (0..=7, SnapshotError::TruncatedHeader { len }) => assert_eq!(*len, cut),
+                (_, SnapshotError::TruncatedSection { .. }) => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+        // The full container still reads back.
+        assert_eq!(
+            read_sections(&mut bytes.as_slice()).expect("intact").len(),
+            2
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // Flip each bit of a small container: the reader must return a
+        // typed error or (for flips in the unused part of a length/crc
+        // field that still parse) never a wrong payload. For payload and
+        // CRC bytes specifically, the CRC must catch the flip.
+        let bytes = container(&[(*b"AAAA", b"abcdefgh")]);
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut dam = bytes.clone();
+                dam[byte] ^= 1 << bit;
+                match read_sections(&mut dam.as_slice()) {
+                    Err(_) => {}
+                    Ok(sections) => {
+                        // A flip that still parses cleanly may only be in
+                        // the section count dropping sections, never a
+                        // silently altered payload.
+                        for (tag, payload) in &sections {
+                            assert_eq!(tag, b"AAAA");
+                            assert_eq!(payload, b"abcdefgh", "byte {byte} bit {bit}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_is_typed_and_names_the_section() {
+        let mut bytes = container(&[(*b"CONF", b"configuration bytes")]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40; // flip a payload bit
+        let err = read_sections(&mut bytes.as_slice()).expect_err("corrupt");
+        assert!(matches!(err, SnapshotError::CrcMismatch { tag } if &tag == b"CONF"));
+        assert!(err.to_string().contains("CONF"), "{err}");
+    }
+
+    #[test]
+    fn huge_declared_length_does_not_allocate() {
+        // A section claiming 2^60 payload bytes on a tiny file must fail
+        // as truncated, not attempt the allocation.
+        let mut bytes = container(&[(*b"AAAA", b"xy")]);
+        bytes[16..24].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        let err = read_sections(&mut bytes.as_slice()).expect_err("truncated");
+        assert!(
+            matches!(err, SnapshotError::TruncatedSection { expected, got, .. }
+                if expected == 1 << 60 && got == 2),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sniffing_prefixes() {
+        assert!(is_snapshot_prefix(b"FSNP\x01\x00"));
+        assert!(!is_snapshot_prefix(b"FSN"));
+        assert!(!is_snapshot_prefix(b"FEDG\x01\x00"));
+    }
+
+    #[cfg(feature = "serde")]
+    mod codec {
+        use super::super::*;
+        use serde::Value;
+
+        fn sample() -> Value {
+            Value::Map(vec![
+                ("kind".to_string(), Value::Str("freebs".to_string())),
+                ("edges".to_string(), Value::U64(123_456)),
+                ("none".to_string(), Value::Null),
+                ("neg".to_string(), Value::I64(-42)),
+                ("ratio".to_string(), Value::F64(0.125)),
+                ("flag".to_string(), Value::Bool(true)),
+                (
+                    "words".to_string(),
+                    Value::Seq((0..100u64).map(Value::U64).collect()),
+                ),
+                (
+                    "mixed".to_string(),
+                    Value::Seq(vec![Value::Str("a".into()), Value::U64(1), Value::Null]),
+                ),
+                ("empty".to_string(), Value::Seq(Vec::new())),
+            ])
+        }
+
+        #[test]
+        fn round_trip_is_identity() {
+            let v = sample();
+            let bytes = encode_value(&v);
+            assert_eq!(decode_value(&bytes).expect("clean decode"), v);
+        }
+
+        #[test]
+        fn u64_seq_fast_path_is_compact() {
+            let words = Value::Seq((0..1000u64).map(Value::U64).collect());
+            let bytes = encode_value(&words);
+            // 1 tag + 8 count + 1000×8 payload.
+            assert_eq!(bytes.len(), 9 + 8000);
+            assert_eq!(decode_value(&bytes).expect("decode"), words);
+        }
+
+        #[test]
+        fn truncation_at_every_offset_is_malformed() {
+            let bytes = encode_value(&sample());
+            for cut in 0..bytes.len() {
+                assert!(
+                    matches!(
+                        decode_value(&bytes[..cut]),
+                        Err(SnapshotError::Malformed { .. })
+                    ),
+                    "cut at {cut} must be malformed"
+                );
+            }
+        }
+
+        #[test]
+        fn corrupt_counts_do_not_allocate() {
+            // A Seq claiming u64::MAX elements over a 9-byte payload.
+            let mut bytes = vec![tag::SEQ];
+            bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+            let err = decode_value(&bytes).expect_err("bogus count");
+            assert!(err.to_string().contains("element count"), "{err}");
+        }
+
+        #[test]
+        fn nesting_bomb_is_rejected() {
+            // 10_000 nested single-element seqs.
+            let mut bytes = Vec::new();
+            for _ in 0..10_000 {
+                bytes.push(tag::SEQ);
+                bytes.extend_from_slice(&1u64.to_le_bytes());
+            }
+            bytes.push(tag::NULL);
+            let err = decode_value(&bytes).expect_err("too deep");
+            assert!(err.to_string().contains("nesting"), "{err}");
+        }
+
+        #[test]
+        fn unknown_tag_and_trailing_garbage_are_malformed() {
+            assert!(matches!(
+                decode_value(&[0xFF]),
+                Err(SnapshotError::Malformed { .. })
+            ));
+            let mut bytes = encode_value(&Value::Null);
+            bytes.push(0x00);
+            let err = decode_value(&bytes).expect_err("trailing");
+            assert!(err.to_string().contains("trailing"), "{err}");
+        }
+
+        #[test]
+        fn bool_bytes_other_than_0_and_1_are_malformed() {
+            assert!(decode_value(&[tag::BOOL, 2]).is_err());
+            assert_eq!(
+                decode_value(&[tag::BOOL, 1]).expect("true"),
+                Value::Bool(true)
+            );
+        }
+    }
+}

@@ -58,6 +58,50 @@ grep -q "edges processed" "$tmp/synth-tsv.txt" || {
   echo "streaming estimate produced no report"; exit 1;
 }
 
+echo "==> checkpoint / crash / restore / resume smoke (~1M-edge trace)"
+./target/release/freesketch synth livejournal --out "$tmp/big.tsv" > /dev/null
+./target/release/freesketch convert "$tmp/big.tsv" "$tmp/big.fedge" > /dev/null
+edges=$(grep -vc '^#' "$tmp/big.tsv")
+every=$(( edges / 5 + 1 ))
+# Uninterrupted reference run.
+./target/release/freesketch estimate "$tmp/big.fedge" --top 5 > "$tmp/ref.txt"
+# Inject a crash after the second checkpoint write: the run must fail with
+# the typed fault-injection error, leaving the last good checkpoint behind.
+if FREESKETCH_CRASH_AFTER_CHECKPOINTS=2 ./target/release/freesketch estimate "$tmp/big.fedge" \
+     --top 5 --checkpoint "$tmp/state.fsnp" --checkpoint-every "$every" \
+     > /dev/null 2> "$tmp/crash-err.txt"; then
+  echo "injected crash did not fail the run"; exit 1
+fi
+grep -q "simulated crash" "$tmp/crash-err.txt" || {
+  echo "crash error not typed:"; cat "$tmp/crash-err.txt"; exit 1;
+}
+test -s "$tmp/state.fsnp" || { echo "no checkpoint left behind after crash"; exit 1; }
+# Restart the same command: it must restore the checkpoint, resume the
+# trace at the recorded offset, and match the uninterrupted run exactly.
+./target/release/freesketch estimate "$tmp/big.fedge" --top 5 \
+  --checkpoint "$tmp/state.fsnp" --checkpoint-every "$every" > "$tmp/resumed.txt"
+grep -q "restored checkpoint" "$tmp/resumed.txt" || {
+  echo "resumed run did not restore the checkpoint:"; cat "$tmp/resumed.txt"; exit 1;
+}
+tail -n +2 "$tmp/resumed.txt" | diff -u "$tmp/ref.txt" - || {
+  echo "resumed estimate differs from uninterrupted run"; exit 1;
+}
+
+echo "==> snapshot merge smoke (split halves vs whole trace)"
+half=$(( (edges + 1) / 2 ))
+# No `grep | head` here: under pipefail, head closing the pipe early turns
+# grep's SIGPIPE into a spurious gate failure. Split from a plain file.
+grep -v '^#' "$tmp/big.tsv" > "$tmp/body.tsv"
+head -n "$half" "$tmp/body.tsv" > "$tmp/half1.tsv"
+tail -n +"$(( half + 1 ))" "$tmp/body.tsv" > "$tmp/half2.tsv"
+./target/release/freesketch checkpoint "$tmp/half1.tsv" "$tmp/h1.fsnp" > /dev/null
+./target/release/freesketch checkpoint "$tmp/half2.tsv" "$tmp/h2.fsnp" > /dev/null
+./target/release/freesketch merge "$tmp/h1.fsnp" "$tmp/h2.fsnp" "$tmp/union.fsnp" > /dev/null
+./target/release/freesketch restore "$tmp/union.fsnp" --top 5 > "$tmp/union.txt"
+grep -q "$edges edges in freebs snapshot" "$tmp/union.txt" || {
+  echo "merged snapshot lost edges:"; cat "$tmp/union.txt"; exit 1;
+}
+
 echo "==> ingest throughput smoke (1M synthetic edges through the batch path)"
 ./target/release/exp_ingest --quick --json --out "$tmp/BENCH_ingest.json" \
   --threads 2 --scaling-out "$tmp/BENCH_scaling.json"
