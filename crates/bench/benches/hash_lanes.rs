@@ -1,0 +1,77 @@
+//! Lane-parallel block hashing vs the naive per-edge loop it replaces.
+//!
+//! `EdgeHasher::hash_many`/`slots_many` run eight independent interleaved
+//! scalar lanes per iteration so the mixer chains overlap instead of
+//! serializing. These benchmarks pit the block paths against an inline
+//! per-edge loop over `hash_edge`/`slot` at the block sizes the phased
+//! ingest actually uses (64, 512, 4096 edges) — the lane path must win on
+//! every ≥64-edge block or the batched ingest is leaving hash throughput
+//! on the table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hashkit::{splitmix64, EdgeHasher};
+use std::hint::black_box;
+
+/// Slot range matching the default bench sketch (16.8M shared bits).
+const M: usize = 1 << 24;
+
+fn edge_block(n: usize) -> Vec<(u64, u64)> {
+    (0..n as u64)
+        .map(|i| (splitmix64(i) >> 40, splitmix64(!i)))
+        .collect()
+}
+
+fn bench_hash_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash/lanes/hash_many");
+    group.sample_size(20);
+    let h = EdgeHasher::new(42);
+    for n in [64usize, 512, 4096] {
+        let edges = edge_block(n);
+        let mut out = vec![0u64; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("per_edge_loop", n), &n, |b, _| {
+            b.iter(|| {
+                for (o, &(user, item)) in out.iter_mut().zip(black_box(&edges[..])) {
+                    *o = h.hash_edge(user, item);
+                }
+                black_box(out[n - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lane_block", n), &n, |b, _| {
+            b.iter(|| {
+                h.hash_many(black_box(&edges[..]), &mut out);
+                black_box(out[n - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_slots_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash/lanes/slots_many");
+    group.sample_size(20);
+    let h = EdgeHasher::new(42);
+    for n in [64usize, 512, 4096] {
+        let edges = edge_block(n);
+        let mut out = vec![0usize; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("per_edge_loop", n), &n, |b, _| {
+            b.iter(|| {
+                for (o, &(user, item)) in out.iter_mut().zip(black_box(&edges[..])) {
+                    *o = h.slot(user, item, M);
+                }
+                black_box(out[n - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lane_block", n), &n, |b, _| {
+            b.iter(|| {
+                h.slots_many(black_box(&edges[..]), M, &mut out);
+                black_box(out[n - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_many, bench_slots_many);
+criterion_main!(benches);

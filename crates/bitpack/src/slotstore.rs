@@ -16,6 +16,8 @@
 //! | [`PackedArray`]       | w-bit register | max | ✓ | |
 //! | [`AtomicBitArray`]    | 1 bit        | `fetch_or` | | ✓ |
 //! | [`AtomicPackedArray`] | w-bit register | CAS max | | ✓ |
+//! | [`crate::FusedBitArray`] / [`crate::AtomicFusedBitArray`] | 1 bit, line-fused count | set / `fetch_or` | ✓ | ✓ |
+//! | [`crate::FusedPackedArray`] | w-bit register, line-fused count | max | ✓ | |
 //!
 //! The value handed to an update is a saturated geometric rank for
 //! register stores and ignored by bit stores ([`SlotStore::RANKED`] tells
@@ -133,6 +135,35 @@ pub trait ConcurrentSlotStore: Send + Sync {
     /// Monotone shared update; `Some(previous)` iff **this call** changed
     /// the slot (exactly one winner under contention).
     fn try_update(&self, i: usize, value: u16) -> Option<u16>;
+
+    /// Block form of [`ConcurrentSlotStore::try_update`]: applies every
+    /// `(slots[i], values[i])` update in order, recording in `grew[i]`
+    /// whether **this call** changed slot `slots[i]` and, where it did, its
+    /// previous value in `old[i]` (`old` entries for unchanged slots are
+    /// unspecified; bit stores never write `old`).
+    ///
+    /// The default is the per-edge loop; stores with block-amortizable
+    /// bookkeeping (e.g. the fused layout's global zero counter) override
+    /// it to settle shared counters once per block instead of once per
+    /// growth.
+    ///
+    /// # Panics
+    /// Panics if the buffer lengths disagree or any slot is out of range.
+    fn update_block(&self, slots: &[usize], values: &[u16], grew: &mut [bool], old: &mut [u16]) {
+        assert!(
+            slots.len() == values.len() && slots.len() == grew.len() && slots.len() == old.len(),
+            "batch buffer length mismatch"
+        );
+        for i in 0..slots.len() {
+            match self.try_update(slots[i], values[i]) {
+                Some(prev) => {
+                    grew[i] = true;
+                    old[i] = prev;
+                }
+                None => grew[i] = false,
+            }
+        }
+    }
 
     /// Zero-slot count. Exact once writers quiesce; may lag in-flight
     /// updates by their count (bit stores), or scan (register stores).

@@ -5,14 +5,15 @@
 //! [`open_source`] — chunk-at-a-time, bounded memory — so traces far
 //! larger than RAM replay with a resident edge buffer of `--chunk` edges.
 
-use crate::args::{Cli, Command, MethodChoice};
+use crate::args::{Cli, Command, Layout, MethodChoice};
 use crate::input::{hash_id, open_source, InputFormat};
 use freesketch::ingest::{ingest_slice, skip_edges, stream_into, stream_into_parallel};
 use freesketch::snapshot::{
     fallback_path, load_snapshot, load_with_fallback, save_snapshot_file, AnySketch, Checkpointer,
 };
 use freesketch::{
-    CardinalityEstimator, ConcurrentEstimator, FreeBS, FreeRS, ShardedFreeBS, ShardedFreeRS,
+    CardinalityEstimator, ConcurrentEstimator, ConcurrentFusedFreeBS, FreeBS, FreeRS, FusedFreeBS,
+    FusedFreeRS, IngestTuning, ShardedFreeBS, ShardedFreeRS, ShardedSketch,
 };
 use graphstream::{Edge, FedgeWriter, SnapshotError};
 use std::io::Write;
@@ -205,6 +206,11 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
             input,
             out: snap_out,
         } => {
+            if cli.layout == Layout::Fused {
+                return Err("--layout fused does not support the checkpoint subcommand \
+                     (snapshots use the split layout)"
+                    .into());
+            }
             let mut sketch = build_any(cli);
             let (mut src, _) = open_source(input, cli.format)?;
             let mut ckpt = Checkpointer::new(Path::new(snap_out.as_str()), cli.checkpoint_every)
@@ -239,6 +245,7 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
             }
             let mut total = offset;
             if let Some(trace) = resume {
+                sketch.configure_ingest(tuning_of(cli));
                 let (mut src, _) = open_source(trace, cli.format)?;
                 let skipped = skip_edges(src.as_mut(), offset, cli.chunk)?;
                 if skipped < offset {
@@ -381,6 +388,11 @@ impl Runner {
     /// arms the incremental checkpointer.
     fn build(cli: &Cli, out: &mut dyn Write) -> Result<Self, Box<dyn std::error::Error>> {
         if let Some(snap) = &cli.checkpoint {
+            if cli.layout == Layout::Fused {
+                return Err("--layout fused does not support --checkpoint \
+                     (snapshots use the split layout; drop --layout or the checkpoint)"
+                    .into());
+            }
             let path = Path::new(snap.as_str());
             let (sketch, base) = match load_with_fallback(path)? {
                 Some((sketch, offset, used_fallback)) => {
@@ -402,6 +414,10 @@ impl Runner {
                 }
                 None => (build_any(cli), 0),
             };
+            // A restored sketch carries the tuning of the run that wrote
+            // it; this run's flags win (tuning never changes estimates).
+            let mut sketch = sketch;
+            sketch.configure_ingest(tuning_of(cli));
             let ckpt = Checkpointer::new(path, cli.checkpoint_every)
                 .starting_from(base)
                 .with_crash_after(crash_after_env());
@@ -412,7 +428,7 @@ impl Runner {
             })));
         }
         Ok(if cli.threads > 1 {
-            Self::Sharded(build_sharded(cli))
+            Self::Sharded(build_sharded(cli)?)
         } else {
             Self::Scalar(build(cli))
         })
@@ -511,36 +527,91 @@ impl Runner {
     }
 }
 
-fn build(cli: &Cli) -> Box<dyn CardinalityEstimator> {
-    match cli.method {
-        MethodChoice::FreeBS => Box::new(FreeBS::new(cli.memory_bits.max(64), cli.seed)),
-        MethodChoice::FreeRS => Box::new(FreeRS::new((cli.memory_bits / 5).max(64), cli.seed)),
+/// The engines' batch tuning under the CLI flags. The drivers hand
+/// `--batch`-sized slices to `process_batch`, and the engine re-chunks
+/// each slice into its own blocks; capping the block at the engine
+/// default keeps the `q`-freeze boundaries exactly where an un-tuned run
+/// puts them, so `--warm-ahead` never changes output.
+fn tuning_of(cli: &Cli) -> IngestTuning {
+    IngestTuning {
+        block: if cli.batch == 0 {
+            freesketch::INGEST_BLOCK
+        } else {
+            cli.batch.min(freesketch::INGEST_BLOCK)
+        },
+        warm_ahead: cli.warm_ahead,
     }
+}
+
+fn build(cli: &Cli) -> Box<dyn CardinalityEstimator> {
+    let mut est: Box<dyn CardinalityEstimator> = match (cli.method, cli.layout) {
+        (MethodChoice::FreeBS, Layout::Split) => {
+            Box::new(FreeBS::new(cli.memory_bits.max(64), cli.seed))
+        }
+        (MethodChoice::FreeBS, Layout::Fused) => {
+            Box::new(FusedFreeBS::new(cli.memory_bits.max(64), cli.seed))
+        }
+        (MethodChoice::FreeRS, Layout::Split) => {
+            Box::new(FreeRS::new((cli.memory_bits / 5).max(64), cli.seed))
+        }
+        (MethodChoice::FreeRS, Layout::Fused) => {
+            Box::new(FusedFreeRS::new((cli.memory_bits / 5).max(64), cli.seed))
+        }
+    };
+    est.configure_ingest(tuning_of(cli));
+    est
 }
 
 /// Sharded concurrent estimator for `--threads > 1`: one shard per ingest
 /// thread (rounded up to a power of two) under the same memory budget.
-fn build_sharded(cli: &Cli) -> Box<dyn ConcurrentEstimator> {
+///
+/// # Errors
+/// `--layout fused` is only implemented for sharded FreeBS.
+fn build_sharded(cli: &Cli) -> Result<Box<dyn ConcurrentEstimator>, Box<dyn std::error::Error>> {
     let shards = cli.threads.next_power_of_two();
-    match cli.method {
-        MethodChoice::FreeBS => Box::new(ShardedFreeBS::new(
+    let mut est: Box<dyn ConcurrentEstimator> = match (cli.method, cli.layout) {
+        (MethodChoice::FreeBS, Layout::Split) => Box::new(ShardedFreeBS::new(
             cli.memory_bits.max(64 * shards),
             shards,
             cli.seed,
         )),
-        MethodChoice::FreeRS => Box::new(ShardedFreeRS::new(
+        (MethodChoice::FreeBS, Layout::Fused) => {
+            let per_shard = cli.memory_bits.max(64 * shards) / shards;
+            let engines = (0..shards)
+                .map(|i| ConcurrentFusedFreeBS::new(per_shard, hashkit::mix64(cli.seed, i as u64)))
+                .collect();
+            Box::new(ShardedSketch::from_engines(engines, cli.seed))
+        }
+        (MethodChoice::FreeRS, Layout::Split) => Box::new(ShardedFreeRS::new(
             (cli.memory_bits / 5).max(64 * shards),
             shards,
             cli.seed,
         )),
-    }
+        (MethodChoice::FreeRS, Layout::Fused) => {
+            return Err(
+                "--layout fused is not available for freers with --threads > 1 \
+                 (no atomic fused register store)"
+                    .into(),
+            )
+        }
+    };
+    est.configure_ingest(tuning_of(cli));
+    Ok(est)
 }
 
 /// Fresh [`AnySketch`] per the CLI flags, mirroring [`build`] /
 /// [`build_sharded`]: scalar kinds at `--threads 1`, sharded above. Used
 /// for cold-start `--checkpoint` runs and the `checkpoint` subcommand,
 /// so a snapshot written by one and restored by the other agrees.
+/// Snapshot kinds are split-layout only; callers reject `--layout fused`
+/// before getting here.
 fn build_any(cli: &Cli) -> AnySketch {
+    let mut sketch = build_any_inner(cli);
+    sketch.configure_ingest(tuning_of(cli));
+    sketch
+}
+
+fn build_any_inner(cli: &Cli) -> AnySketch {
     if cli.threads > 1 {
         let shards = cli.threads.next_power_of_two();
         match cli.method {
@@ -753,6 +824,98 @@ mod tests {
         // At the default 8 Mbit budget the block-q drift is ~1e-5 relative,
         // far below the printed precision: outputs must be identical.
         assert_eq!(batched, scalar);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fused_layout_output_identical_to_split() {
+        // The fused layout renumbers nothing: estimate reports must be
+        // byte-identical to split-layout runs, across methods, batch
+        // sizes, warm distances, and the sharded FreeBS path.
+        let mut content = String::new();
+        for u in 0..10 {
+            for d in 0..(u + 1) * 20 {
+                content.push_str(&format!("user{u} item{u}x{d}\n"));
+            }
+        }
+        let path = write_temp(&content);
+        let p = path.to_str().expect("utf8 path");
+        for extra in [
+            &[][..],
+            &["--method", "freers"],
+            &["--batch", "100"],
+            &["--warm-ahead", "0"],
+            &["--warm-ahead", "4"],
+            &["--threads", "2"],
+        ] {
+            let mut split_args = vec!["estimate", p, "--top", "5"];
+            split_args.extend_from_slice(extra);
+            let mut fused_args = vec!["estimate", p, "--top", "5", "--layout", "fused"];
+            fused_args.extend_from_slice(extra);
+            // Sharded fused registers are unsupported; skip that combo.
+            if extra.contains(&"--threads") && extra.contains(&"freers") {
+                continue;
+            }
+            assert_eq!(
+                run_to_string(&split_args),
+                run_to_string(&fused_args),
+                "flags {extra:?}"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fused_layout_rejects_unsupported_combinations() {
+        let path = write_temp("a b\n");
+        let p = path.to_str().expect("utf8 path");
+        let snap = format!("{p}.fsnp");
+
+        let cli = Cli::parse(&["checkpoint", p, &snap, "--layout", "fused"]).expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("split layout"), "{err}");
+
+        let cli = Cli::parse(&["estimate", p, "--layout", "fused", "--checkpoint", &snap])
+            .expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("split layout"), "{err}");
+
+        let cli = Cli::parse(&[
+            "estimate",
+            p,
+            "--layout",
+            "fused",
+            "--method",
+            "freers",
+            "--threads",
+            "2",
+        ])
+        .expect("parse");
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("freers"), "{err}");
+
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn warm_ahead_never_changes_output() {
+        let mut content = String::new();
+        for i in 0..2_000u64 {
+            content.push_str(&format!("user{} item{i}\n", i % 7));
+        }
+        let path = write_temp(&content);
+        let p = path.to_str().expect("utf8 path");
+        let base = run_to_string(&["estimate", p, "--top", "7"]);
+        for wa in ["0", "2", "8"] {
+            assert_eq!(
+                base,
+                run_to_string(&["estimate", p, "--top", "7", "--warm-ahead", wa]),
+                "--warm-ahead {wa}"
+            );
+        }
         std::fs::remove_file(path).ok();
     }
 

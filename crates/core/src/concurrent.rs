@@ -19,13 +19,10 @@
 //! writers quiesce.
 
 use crate::engine::pow2_neg;
-use crate::CardinalityEstimator;
-use bitpack::{AtomicBitArray, AtomicPackedArray, ConcurrentSlotStore};
+use crate::{CardinalityEstimator, IngestTuning};
+use bitpack::{AtomicBitArray, AtomicFusedBitArray, AtomicPackedArray, ConcurrentSlotStore};
 use hashkit::{geometric_rank, reduce64, splitmix64, EdgeHasher, FxHashMap, ShardedCounterMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Batch-ingest block size (matches the sequential estimators' block depth).
-const BLOCK: usize = crate::INGEST_BLOCK;
 
 /// Shared ingest: a cardinality estimator whose update path takes `&self`,
 /// so many threads can feed one instance (or a [`crate::Windowed`] of
@@ -195,6 +192,7 @@ pub struct ConcurrentEngine<S, Q> {
     hasher: EdgeHasher,
     q: Q,
     counters: ShardedCounterMap,
+    tuning: IngestTuning,
 }
 
 impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEngine<S, Q> {
@@ -207,7 +205,15 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEngine<S, Q> {
             hasher: EdgeHasher::new(seed),
             q,
             counters: ShardedCounterMap::default(),
+            tuning: IngestTuning::default(),
         }
+    }
+
+    /// The batch-ingest tuning in effect (see
+    /// [`CardinalityEstimator::configure_ingest`]).
+    #[must_use]
+    pub fn ingest_tuning(&self) -> IngestTuning {
+        self.tuning
     }
 
     /// The shared array size `M`.
@@ -257,49 +263,163 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEngine<S, Q> {
         // engine's Algorithm 1/2 semantics.
     }
 
-    /// Observes a slice of edges — the batched fast path; callable
-    /// concurrently. Each internal block of [`BLOCK`] edges is hashed in
-    /// one pass, its array words are warmed (load-only prefetch pass)
-    /// before the update loop, `q` is frozen at its block-start value,
-    /// counter-shard lock acquisitions are coalesced over runs of
-    /// consecutive same-user edges, and the block's `q` deltas are
-    /// committed with one CAS. The extra `q` staleness this adds is at
-    /// most `BLOCK/M` relative — the same order as the concurrency skew
-    /// already tolerated.
-    pub fn process_batch(&self, edges: &[(u64, u64)]) {
+    /// Load-only warm pass over one block: hash, map to slots, derive rank
+    /// values, and touch every store word the write pass will hit so those
+    /// lines are resident when it runs. Unlike the scalar engine there is
+    /// no counter warm — [`ShardedCounterMap`] sits behind shard mutexes,
+    /// so a speculative read would contend rather than prefetch.
+    #[inline(always)]
+    fn warm_block(
+        &self,
+        chunk: &[(u64, u64)],
+        hashes: &mut [u64],
+        slots: &mut [usize],
+        values: &mut [u16],
+    ) {
         let m = self.store.len();
+        if S::RANKED {
+            self.hasher.hash_many(chunk, hashes);
+            for (s, &h) in slots.iter_mut().zip(hashes.iter()) {
+                *s = reduce64(h, m);
+            }
+            let width = self.store.width();
+            for (v, &h) in values.iter_mut().zip(hashes.iter()) {
+                *v = u16::from(geometric_rank(splitmix64(h)).saturated(width));
+            }
+        } else {
+            // Bit stores never look at the hash again (the update value is
+            // always 1), so the slot derivation fuses into the lane loop
+            // and the `hashes` scratch is never materialized.
+            self.hasher.slots_many(chunk, m, slots);
+        }
+        let mut acc = 0u64;
+        for &s in slots.iter() {
+            acc ^= self.store.warm(s);
+        }
+        std::hint::black_box(acc);
+    }
+
+    /// Write pass over one warmed block: `q` frozen at its block-start
+    /// value, a word-level [`ConcurrentSlotStore::update_block`], then
+    /// run-coalesced counter credits and one `q` commit CAS for the whole
+    /// block.
+    #[inline(always)]
+    fn apply_block(
+        &self,
+        chunk: &[(u64, u64)],
+        slots: &[usize],
+        values: &[u16],
+        grew: &mut [bool],
+        old: &mut [u16],
+    ) {
+        let k = chunk.len();
+        let inc = self.store.len() as f64 / self.q.numerator(&self.store);
+        self.store
+            .update_block(slots, values, &mut grew[..k], &mut old[..k]);
+        let mut run_user = chunk[0].0;
+        let mut run_growths = 0u32;
+        let mut q_acc = 0.0f64;
+        for i in 0..k {
+            let user = chunk[i].0;
+            if user != run_user {
+                if run_growths > 0 {
+                    self.counters.add(run_user, inc * f64::from(run_growths));
+                }
+                run_user = user;
+                run_growths = 0;
+            }
+            if grew[i] {
+                run_growths += 1;
+                Q::fold_growth(&mut q_acc, old[i], values[i]);
+            }
+        }
+        if run_growths > 0 {
+            self.counters.add(run_user, inc * f64::from(run_growths));
+        }
+        self.q.commit(q_acc);
+    }
+
+    /// Observes a slice of edges — the batched fast path; callable
+    /// concurrently. The slice is cut into blocks of
+    /// [`IngestTuning::block`] edges, each run as a load-only warm pass
+    /// and a write pass (see [`CardinalityEstimator::process_batch`]);
+    /// with [`IngestTuning::warm_ahead`] `> 0` the warm pass for a later
+    /// block is interleaved behind each write pass, overlapping its cache
+    /// misses with resident write work. The warm pass is load-only, so
+    /// the warm distance never changes results; freezing `q` per block
+    /// adds at most `block/M` relative staleness — the same order as the
+    /// concurrency skew already tolerated.
+    pub fn process_batch(&self, edges: &[(u64, u64)]) {
+        if edges.is_empty() {
+            return;
+        }
+        if self.tuning == IngestTuning::default() {
+            // The shipped tuning takes the const-block path: identical
+            // semantics, but compile-time scratch sizes let the compiler
+            // drop every bounds check in the warm/apply passes.
+            self.process_batch_default(edges);
+            return;
+        }
+        let block = self.tuning.block;
+        let nblocks = edges.len().div_ceil(block);
+        let d = self.tuning.warm_ahead.min(nblocks - 1);
+        let segs = d + 1;
+        let mut hashes = vec![0u64; block * segs];
+        let mut slots = vec![0usize; block * segs];
+        let mut values = vec![1u16; block * segs];
+        let mut grew = vec![false; block];
+        let mut old = vec![0u16; block];
+        let chunk_of = |j: usize| &edges[j * block..((j + 1) * block).min(edges.len())];
+        for j in 0..segs {
+            let chunk = chunk_of(j);
+            let base = (j % segs) * block;
+            self.warm_block(
+                chunk,
+                &mut hashes[base..base + chunk.len()],
+                &mut slots[base..base + chunk.len()],
+                &mut values[base..base + chunk.len()],
+            );
+        }
+        for j in 0..nblocks {
+            let chunk = chunk_of(j);
+            let base = (j % segs) * block;
+            let k = chunk.len();
+            self.apply_block(
+                chunk,
+                &slots[base..base + k],
+                &values[base..base + k],
+                &mut grew,
+                &mut old,
+            );
+            let next = j + segs;
+            if next < nblocks {
+                let chunk = chunk_of(next);
+                self.warm_block(
+                    chunk,
+                    &mut hashes[base..base + chunk.len()],
+                    &mut slots[base..base + chunk.len()],
+                    &mut values[base..base + chunk.len()],
+                );
+            }
+        }
+    }
+
+    /// The default-tuning batch path: the same warm/apply phasing as the
+    /// general loop in [`ConcurrentEngine::process_batch`], but over
+    /// compile-time [`crate::INGEST_BLOCK`]-sized stack scratch, so the
+    /// compiler sees every pass's trip count and drops all bounds checks —
+    /// the same const-sized twin the scalar engine keeps.
+    fn process_batch_default(&self, edges: &[(u64, u64)]) {
+        const BLOCK: usize = crate::INGEST_BLOCK;
         let mut hashes = [0u64; BLOCK];
+        let mut slots = [0usize; BLOCK];
+        let mut values = [1u16; BLOCK];
+        let mut grew = [false; BLOCK];
+        let mut old = [0u16; BLOCK];
         for chunk in edges.chunks(BLOCK) {
             let k = chunk.len();
-            self.hasher.hash_many(chunk, &mut hashes[..k]);
-            let mut acc = 0u64;
-            for &h in &hashes[..k] {
-                acc ^= self.store.warm(reduce64(h, m));
-            }
-            std::hint::black_box(acc);
-            let inc = m as f64 / self.q.numerator(&self.store);
-            let mut run_user = chunk[0].0;
-            let mut run_growths = 0u32;
-            let mut q_acc = 0.0f64;
-            for (&(user, _), &h) in chunk.iter().zip(&hashes[..k]) {
-                if user != run_user {
-                    if run_growths > 0 {
-                        self.counters.add(run_user, inc * f64::from(run_growths));
-                    }
-                    run_user = user;
-                    run_growths = 0;
-                }
-                let slot = reduce64(h, m);
-                let value = self.value_of(h);
-                if let Some(old) = self.store.try_update(slot, value) {
-                    run_growths += 1;
-                    Q::fold_growth(&mut q_acc, old, value);
-                }
-            }
-            if run_growths > 0 {
-                self.counters.add(run_user, inc * f64::from(run_growths));
-            }
-            self.q.commit(q_acc);
+            self.warm_block(chunk, &mut hashes[..k], &mut slots[..k], &mut values[..k]);
+            self.apply_block(chunk, &slots[..k], &values[..k], &mut grew, &mut old);
         }
     }
 
@@ -404,6 +524,12 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> CardinalityEstimator for Conc
         ConcurrentEngine::process_batch(self, edges);
     }
 
+    fn configure_ingest(&mut self, tuning: IngestTuning) {
+        // `&mut self` means no concurrent readers: tuning changes are
+        // sequenced before any shared ingest that observes them.
+        self.tuning = tuning.clamped();
+    }
+
     #[inline]
     fn estimate(&self, user: u64) -> f64 {
         ConcurrentEngine::estimate(self, user)
@@ -458,6 +584,7 @@ where
                 "counters".to_string(),
                 self.counters.snapshot().serialize_value(),
             ),
+            ("tuning".to_string(), self.tuning.serialize_value()),
         ])
     }
 }
@@ -486,6 +613,7 @@ where
             hasher: EdgeHasher::deserialize_value(serde::map_field(map, "hasher")?)?,
             q: Q::deserialize_value(serde::map_field(map, "q")?)?,
             counters,
+            tuning: IngestTuning::deserialize_value(serde::map_field(map, "tuning")?)?,
         })
     }
 }
@@ -540,6 +668,24 @@ impl ConcurrentFreeBS {
     #[must_use]
     pub fn new(m_bits: usize, seed: u64) -> Self {
         Self::from_store(AtomicBitArray::new(m_bits), seed)
+    }
+}
+
+/// A thread-safe FreeBS estimator over the cache-line fused bit layout
+/// ([`AtomicFusedBitArray`]): same logical slots — and therefore the same
+/// estimates — as [`ConcurrentFreeBS`], with each update touching one
+/// cache line instead of two and the global zero counter settled once per
+/// ingest block.
+pub type ConcurrentFusedFreeBS = ConcurrentEngine<AtomicFusedBitArray, SharedZeroQ>;
+
+impl ConcurrentFusedFreeBS {
+    /// Creates a concurrent fused-layout FreeBS over `m_bits` shared bits.
+    ///
+    /// # Panics
+    /// Panics if `m_bits == 0`.
+    #[must_use]
+    pub fn new(m_bits: usize, seed: u64) -> Self {
+        Self::from_store(AtomicFusedBitArray::new(m_bits), seed)
     }
 }
 
@@ -831,6 +977,73 @@ mod tests {
             }
         });
         assert_eq!(c.q_discrepancy(), 0.0, "zero counter drifted from popcount");
+    }
+
+    #[test]
+    fn fused_concurrent_matches_split_single_thread() {
+        // Same logical slots, same frozen-q block boundaries: with one
+        // thread the fused layout must reproduce the split layout's bits
+        // and estimates exactly.
+        let split = ConcurrentFreeBS::new(1 << 14, 7);
+        let fused = ConcurrentFusedFreeBS::new(1 << 14, 7);
+        let edges: Vec<(u64, u64)> = (0..5_000u64)
+            .map(|i| (i % 17, hashkit::splitmix64(i) >> 20))
+            .collect();
+        split.process_batch(&edges);
+        fused.process_batch(&edges);
+        assert_eq!(split.store().recount_zeros(), fused.store().recount_zeros());
+        for u in 0..17u64 {
+            assert_eq!(split.estimate(u), fused.estimate(u), "user {u}");
+        }
+        assert_eq!(split.total_estimate(), fused.total_estimate());
+    }
+
+    #[test]
+    fn fused_concurrent_zero_counter_exact_after_quiescence() {
+        // The block-settled global zero counter must agree with a popcount
+        // recount once writers quiesce, even under contended batch ingest.
+        let c = Arc::new(ConcurrentFusedFreeBS::new(1 << 14, 3));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let edges: Vec<(u64, u64)> = (0..3_000u64).map(|d| (t, d)).collect();
+                    c.process_batch(&edges);
+                });
+            }
+        });
+        assert_eq!(c.q_discrepancy(), 0.0, "zero counter drifted from popcount");
+    }
+
+    #[test]
+    fn warm_ahead_never_changes_results() {
+        // The warm pass is load-only: any warm distance must yield
+        // bit-identical stores and estimates.
+        let edges: Vec<(u64, u64)> = (0..6_000u64)
+            .map(|i| (i % 13, hashkit::splitmix64(i) >> 18))
+            .collect();
+        let base = ConcurrentFreeBS::new(1 << 14, 5);
+        base.process_batch(&edges);
+        for warm_ahead in [0usize, 2, 5] {
+            let mut probe = ConcurrentFreeBS::new(1 << 14, 5);
+            probe.configure_ingest(IngestTuning {
+                warm_ahead,
+                ..IngestTuning::default()
+            });
+            probe.process_batch(&edges);
+            assert_eq!(
+                base.store().recount_zeros(),
+                probe.store().recount_zeros(),
+                "warm_ahead {warm_ahead}"
+            );
+            for u in 0..13u64 {
+                assert_eq!(
+                    base.estimate(u),
+                    probe.estimate(u),
+                    "warm_ahead {warm_ahead}, user {u}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,19 +16,9 @@
 //! word-level multi-update, frozen per-block `q`, run-coalesced counter
 //! writes) is written and maintained in exactly one place.
 
-use crate::CardinalityEstimator;
+use crate::{CardinalityEstimator, IngestTuning};
 use bitpack::SlotStore;
 use hashkit::{geometric_rank, reduce64, splitmix64, CounterMap, EdgeHasher};
-
-/// Batch-ingest block size — [`crate::INGEST_BLOCK`]. Within one block the
-/// sampling probability `q` is frozen at its block-start value, so each
-/// Horvitz–Thompson increment drifts from the scalar path by a relative
-/// factor of at most `BLOCK / m₀` (bit stores) resp. `BLOCK / Z` (register
-/// stores) — far below the estimator's noise floor for any practically
-/// sized array. 512 is deep enough that each memory phase of the block
-/// pipeline keeps the core's miss buffers full, while the scratch stays a
-/// few KB of stack.
-const BLOCK: usize = crate::INGEST_BLOCK;
 
 /// The `q(t)` bookkeeping seam of the [`SketchEngine`].
 ///
@@ -169,6 +159,7 @@ pub struct SketchEngine<S, Q> {
     q: Q,
     estimates: CounterMap,
     total: f64,
+    tuning: IngestTuning,
 }
 
 impl<S: SlotStore, Q: QTracker<S>> SketchEngine<S, Q> {
@@ -182,7 +173,14 @@ impl<S: SlotStore, Q: QTracker<S>> SketchEngine<S, Q> {
             q,
             estimates: CounterMap::new(),
             total: 0.0,
+            tuning: IngestTuning::default(),
         }
+    }
+
+    /// The batch-path tuning currently in effect.
+    #[must_use]
+    pub fn ingest_tuning(&self) -> IngestTuning {
+        self.tuning
     }
 
     /// The shared array size `M`.
@@ -272,6 +270,128 @@ impl<S: SlotStore, Q: QTracker<S>> SketchEngine<S, Q> {
             1
         }
     }
+
+    /// Warm pass for one block: block-hash the edges, derive their slots
+    /// (and ranks for register stores), and touch every store word the
+    /// apply pass will need. All loads fold into one accumulator kept alive
+    /// by a single `black_box`, so the compiler cannot drop them while the
+    /// hardware overlaps their misses. Counter homes are *not* warmed here
+    /// — which users get credited is unknown until the apply pass, and
+    /// speculatively touching every user's counter measured slower than
+    /// demand-warming the grown ones (it roughly doubles the map traffic).
+    #[inline(always)]
+    fn warm_block(
+        &self,
+        chunk: &[(u64, u64)],
+        hashes: &mut [u64],
+        slots: &mut [usize],
+        values: &mut [u16],
+    ) {
+        let m = self.store.len();
+        if S::RANKED {
+            self.hasher.hash_many(chunk, hashes);
+            for (s, &h) in slots.iter_mut().zip(hashes.iter()) {
+                *s = reduce64(h, m);
+            }
+            let width = self.store.width();
+            for (v, &h) in values.iter_mut().zip(hashes.iter()) {
+                *v = u16::from(geometric_rank(splitmix64(h)).saturated(width));
+            }
+        } else {
+            // Bit stores never look at the hash again (the update value is
+            // always 1), so the slot derivation fuses into the lane loop
+            // and the `hashes` scratch is never materialized.
+            self.hasher.slots_many(chunk, m, slots);
+        }
+        let mut acc = 0u64;
+        for &s in slots.iter() {
+            acc ^= self.store.warm(s);
+        }
+        std::hint::black_box(acc);
+    }
+
+    /// Write pass for one block whose lines the warm pass already pulled
+    /// in: freeze `q` at its block-start value, multi-update the store,
+    /// account growths, demand-warm the grown users' counter homes, and
+    /// credit them with run-coalesced counter adds, as PR 2 did.
+    #[inline(always)]
+    fn apply_block(
+        &mut self,
+        chunk: &[(u64, u64)],
+        slots: &[usize],
+        values: &[u16],
+        grew: &mut [bool],
+        old: &mut [u16],
+        grew_users: &mut [u64],
+    ) {
+        let k = chunk.len();
+        let m = self.store.len();
+        // q for the whole block is the numerator *before* any of its
+        // updates; frozen here, applied only if something grew (a zero
+        // numerator implies nothing can grow).
+        let qn = self.q.numerator(&self.store);
+        self.store
+            .update_many(slots, values, &mut grew[..k], &mut old[..k]);
+        let mut growths = 0usize;
+        for i in 0..k {
+            if grew[i] {
+                self.q.on_growth(old[i], values[i]);
+            }
+            grew_users[growths] = chunk[i].0;
+            growths += usize::from(grew[i]);
+        }
+        if growths == 0 {
+            return;
+        }
+        let mut acc = 0u64;
+        for &user in &grew_users[..growths] {
+            acc ^= self.estimates.warm(user);
+        }
+        std::hint::black_box(acc);
+        let inc = m as f64 / qn;
+        let mut i = 0usize;
+        while i < growths {
+            let user = grew_users[i];
+            let mut run = 1usize;
+            while i + run < growths && grew_users[i + run] == user {
+                run += 1;
+            }
+            self.estimates.add(user, inc * run as f64);
+            i += run;
+        }
+        self.total += inc * growths as f64;
+        self.q.maybe_rebuild(&self.store);
+    }
+
+    /// The default-tuning batch path: the same warm/apply phasing as the
+    /// general loop in [`CardinalityEstimator::process_batch`], but over
+    /// compile-time [`crate::INGEST_BLOCK`]-sized stack scratch, so the
+    /// compiler sees every pass's trip count and drops all bounds checks.
+    /// Keeping a const-sized twin of the runtime-sized loop is pure
+    /// mechanical sugar — both funnel into the same [`Self::warm_block`] /
+    /// [`Self::apply_block`] bodies, and the warm-ahead invariance tests
+    /// pin the two paths to bit-identical results.
+    fn process_batch_default(&mut self, edges: &[(u64, u64)]) {
+        const BLOCK: usize = crate::INGEST_BLOCK;
+        let mut hashes = [0u64; BLOCK];
+        let mut slots = [0usize; BLOCK];
+        let mut values = [1u16; BLOCK];
+        let mut grew = [false; BLOCK];
+        let mut old = [0u16; BLOCK];
+        let mut grew_users = [0u64; BLOCK];
+        for chunk in edges.chunks(BLOCK) {
+            let k = chunk.len();
+            self.warm_block(chunk, &mut hashes[..k], &mut slots[..k], &mut values[..k]);
+            self.apply_block(
+                chunk,
+                &slots[..k],
+                &values[..k],
+                &mut grew,
+                &mut old,
+                &mut grew_users,
+            );
+        }
+    }
 }
 
 impl<S: SlotStore, Q: QTracker<S>> CardinalityEstimator for SketchEngine<S, Q> {
@@ -296,82 +416,85 @@ impl<S: SlotStore, Q: QTracker<S>> CardinalityEstimator for SketchEngine<S, Q> {
         // in Algorithms 1 and 2: no counter write, no map lookup.
     }
 
-    /// Phased batch ingest. Each block of [`BLOCK`] edges runs five passes,
-    /// each a tight loop over one memory stream so the core's miss buffers
-    /// stay full (the scalar path's hash → slot → counter chain serializes
-    /// two cache misses per edge; here each phase's misses overlap):
+    /// Software-pipelined phased batch ingest. The batch is cut into blocks
+    /// of [`IngestTuning::block`] edges; each block runs a load-only
+    /// **warm** pass (hash, slot, rank, touch every store word) and a
+    /// **write** pass (frozen-`q` multi-update plus run-coalesced counter
+    /// credits; see [`CardinalityEstimator::process_batch`] for the drift
+    /// bound).
     ///
-    /// 1. **hash** — `hash_many` block hashing, no per-edge branches;
-    /// 2. **warm store** — load-only pass over the block's array words,
-    ///    folded into one `black_box`, so the update pass hits L1;
-    /// 3. **update** — word-level multi-update recording which slots grew;
-    /// 4. **warm counters** — compress the growing edges' users
-    ///    (branchless) and warm their counter home slots;
-    /// 5. **credit** — one `CounterMap::add` per growth, coalescing runs of
-    ///    consecutive same-user edges, with `q` frozen at its block-start
-    ///    value (see [`CardinalityEstimator::process_batch`] for the drift
-    ///    bound) and the running total updated once per block.
+    /// With warm distance `d =` [`IngestTuning::warm_ahead`] `> 0` the two
+    /// pass streams are interleaved `d` blocks apart: after writing block
+    /// `k` the engine warms block `k+d+1`, so the warm pass's cache misses
+    /// retire behind block `k+1`'s L1-resident write work instead of
+    /// stalling in front of it. The warm pass is load-only, so **any** `d`
+    /// yields bit-identical stores and estimates; `d = 0` degenerates to
+    /// PR 2's strict warm-then-write phasing.
     fn process_batch(&mut self, edges: &[(u64, u64)]) {
-        let m = self.store.len();
-        let mut hashes = [0u64; BLOCK];
-        let mut slots = [0usize; BLOCK];
-        let mut values = [1u16; BLOCK];
-        let mut grew = [false; BLOCK];
-        let mut old = [0u16; BLOCK];
-        let mut grew_users = [0u64; BLOCK];
-        for chunk in edges.chunks(BLOCK) {
-            let k = chunk.len();
-            self.hasher.hash_many(chunk, &mut hashes[..k]);
-            for (s, &h) in slots[..k].iter_mut().zip(&hashes[..k]) {
-                *s = reduce64(h, m);
-            }
-            let mut acc = 0u64;
-            for &s in &slots[..k] {
-                acc ^= self.store.warm(s);
-            }
-            std::hint::black_box(acc);
-            if S::RANKED {
-                let width = self.store.width();
-                for (v, &h) in values[..k].iter_mut().zip(&hashes[..k]) {
-                    *v = u16::from(geometric_rank(splitmix64(h)).saturated(width));
-                }
-            }
-            // q for the whole block is the numerator *before* any of its
-            // updates; frozen here, applied only if something grew (a zero
-            // numerator implies nothing can grow).
-            let qn = self.q.numerator(&self.store);
-            self.store
-                .update_many(&slots[..k], &values[..k], &mut grew[..k], &mut old[..k]);
-            let mut growths = 0usize;
-            for i in 0..k {
-                if grew[i] {
-                    self.q.on_growth(old[i], values[i]);
-                }
-                grew_users[growths] = chunk[i].0;
-                growths += usize::from(grew[i]);
-            }
-            if growths == 0 {
-                continue;
-            }
-            let mut acc = 0u64;
-            for &user in &grew_users[..growths] {
-                acc ^= self.estimates.warm(user);
-            }
-            std::hint::black_box(acc);
-            let inc = m as f64 / qn;
-            let mut i = 0usize;
-            while i < growths {
-                let user = grew_users[i];
-                let mut run = 1usize;
-                while i + run < growths && grew_users[i + run] == user {
-                    run += 1;
-                }
-                self.estimates.add(user, inc * run as f64);
-                i += run;
-            }
-            self.total += inc * growths as f64;
-            self.q.maybe_rebuild(&self.store);
+        if edges.is_empty() {
+            return;
         }
+        if self.tuning == IngestTuning::default() {
+            // The shipped tuning takes the const-block path: identical
+            // semantics, but compile-time scratch sizes let the compiler
+            // drop every bounds check in the five passes (worth ~25%
+            // end-to-end over the runtime-sized loop below).
+            self.process_batch_default(edges);
+            return;
+        }
+        let block = self.tuning.block;
+        let nblocks = edges.len().div_ceil(block);
+        // Warming past the batch tail would index past the edge slice; a
+        // short batch simply gets a shallower pipeline.
+        let d = self.tuning.warm_ahead.min(nblocks - 1);
+        let segs = d + 1;
+        let mut hashes = vec![0u64; block * segs];
+        let mut slots = vec![0usize; block * segs];
+        let mut values = vec![1u16; block * segs];
+        let mut grew = vec![false; block];
+        let mut old = vec![0u16; block];
+        let mut grew_users = vec![0u64; block];
+        let chunk_of = |j: usize| &edges[j * block..((j + 1) * block).min(edges.len())];
+        // Prologue: fill every pipeline segment (blocks 0..=d).
+        for j in 0..segs {
+            let chunk = chunk_of(j);
+            let base = (j % segs) * block;
+            self.warm_block(
+                chunk,
+                &mut hashes[base..base + chunk.len()],
+                &mut slots[base..base + chunk.len()],
+                &mut values[base..base + chunk.len()],
+            );
+        }
+        // Steady state: write block j (its lines are warm), then reuse its
+        // segment to warm block j+d+1.
+        for j in 0..nblocks {
+            let chunk = chunk_of(j);
+            let base = (j % segs) * block;
+            let k = chunk.len();
+            self.apply_block(
+                chunk,
+                &slots[base..base + k],
+                &values[base..base + k],
+                &mut grew,
+                &mut old,
+                &mut grew_users,
+            );
+            let next = j + segs;
+            if next < nblocks {
+                let chunk = chunk_of(next);
+                self.warm_block(
+                    chunk,
+                    &mut hashes[base..base + chunk.len()],
+                    &mut slots[base..base + chunk.len()],
+                    &mut values[base..base + chunk.len()],
+                );
+            }
+        }
+    }
+
+    fn configure_ingest(&mut self, tuning: IngestTuning) {
+        self.tuning = tuning.clamped();
     }
 
     #[inline]
@@ -414,6 +537,7 @@ impl<S: serde::Serialize, Q: serde::Serialize> serde::Serialize for SketchEngine
             ("q".to_string(), self.q.serialize_value()),
             ("estimates".to_string(), self.estimates.serialize_value()),
             ("total".to_string(), self.total.serialize_value()),
+            ("tuning".to_string(), self.tuning.serialize_value()),
         ])
     }
 }
@@ -430,6 +554,7 @@ impl<S: serde::Deserialize, Q: serde::Deserialize> serde::Deserialize for Sketch
             q: Q::deserialize_value(serde::map_field(map, "q")?)?,
             estimates: CounterMap::deserialize_value(serde::map_field(map, "estimates")?)?,
             total: f64::deserialize_value(serde::map_field(map, "total")?)?,
+            tuning: IngestTuning::deserialize_value(serde::map_field(map, "tuning")?)?,
         })
     }
 }

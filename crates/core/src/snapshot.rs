@@ -304,6 +304,10 @@ impl CardinalityEstimator for AnySketch {
         dispatch!(self, e => e.process_batch(edges));
     }
 
+    fn configure_ingest(&mut self, tuning: crate::IngestTuning) {
+        dispatch!(self, e => e.configure_ingest(tuning));
+    }
+
     #[inline]
     fn estimate(&self, user: u64) -> f64 {
         dispatch!(self, e => e.estimate(user))

@@ -102,6 +102,36 @@ grep -q "$edges edges in freebs snapshot" "$tmp/union.txt" || {
   echo "merged snapshot lost edges:"; cat "$tmp/union.txt"; exit 1;
 }
 
+echo "==> fused-layout / warm-ahead smoke (~1M-edge stream, reports must be identical)"
+# The fused layout is a physical rearrangement and the warm distance is
+# load-only lookahead: both must leave the report byte-identical to the
+# split-layout default run, single-engine and sharded alike.
+./target/release/freesketch estimate "$tmp/big.fedge" --top 5 --layout fused > "$tmp/fused.txt"
+diff -u "$tmp/ref.txt" "$tmp/fused.txt" || {
+  echo "--layout fused changed the report"; exit 1;
+}
+./target/release/freesketch estimate "$tmp/big.fedge" --top 5 --warm-ahead 4 > "$tmp/warm.txt"
+diff -u "$tmp/ref.txt" "$tmp/warm.txt" || {
+  echo "--warm-ahead changed the report"; exit 1;
+}
+# Parallel ingest is not byte-deterministic (thread interleaving moves the
+# per-shard q-freeze boundaries), so the sharded fused run is held to a
+# tight tolerance on the total rather than a byte diff.
+./target/release/freesketch estimate "$tmp/big.fedge" --top 5 --threads 2 > "$tmp/split-mt.txt"
+./target/release/freesketch estimate "$tmp/big.fedge" --top 5 --threads 2 \
+  --layout fused --warm-ahead 2 > "$tmp/fused-mt.txt"
+split_total=$(grep -o 'cardinality ≈ [0-9]*' "$tmp/split-mt.txt" | grep -o '[0-9]*$')
+fused_total=$(grep -o 'cardinality ≈ [0-9]*' "$tmp/fused-mt.txt" | grep -o '[0-9]*$')
+awk -v a="$split_total" -v b="$fused_total" \
+  'BEGIN { d = (a - b) / a; if (d < 0) d = -d; exit !(d < 0.001) }' || {
+  echo "sharded fused total $fused_total deviates from split $split_total"; exit 1;
+}
+# Unsupported combination must fail loudly, not fall back silently.
+if ./target/release/freesketch estimate "$tmp/big.fedge" --layout fused \
+     --checkpoint "$tmp/nope.fsnp" > /dev/null 2>&1; then
+  echo "fused + --checkpoint should be rejected"; exit 1
+fi
+
 echo "==> ingest throughput smoke (1M synthetic edges through the batch path)"
 ./target/release/exp_ingest --quick --json --out "$tmp/BENCH_ingest.json" \
   --threads 2 --scaling-out "$tmp/BENCH_scaling.json"
@@ -112,11 +142,27 @@ grep -q '"mode": "batch"' "$tmp/BENCH_ingest.json" || {
 grep -q '"mode": "file-fedge"' "$tmp/BENCH_ingest.json" || {
   echo "exp_ingest JSON missing from-disk results"; exit 1;
 }
+grep -q '"mode": "batch-fused"' "$tmp/BENCH_ingest.json" || {
+  echo "exp_ingest JSON missing fused-layout results"; exit 1;
+}
+grep -q '"available_parallelism"' "$tmp/BENCH_ingest.json" || {
+  echo "exp_ingest JSON missing host context"; exit 1;
+}
 # 2-thread sharded-ingest smoke: the scaling JSON must carry both thread
 # counts for both sharded methods.
 test -s "$tmp/BENCH_scaling.json" || { echo "exp_ingest wrote no scaling JSON"; exit 1; }
 grep -q '"method": "ShardedFreeBS", "threads": 2' "$tmp/BENCH_scaling.json" || {
   echo "scaling JSON missing 2-thread sharded results"; exit 1;
+}
+
+echo "==> batch-tuning sweep smoke (layout x block x warm-ahead frontier)"
+./target/release/exp_ingest --quick --sweep --json \
+  --sweep-out "$tmp/BENCH_sweep.json" > /dev/null
+grep -q '"frontier"' "$tmp/BENCH_sweep.json" || {
+  echo "sweep JSON missing frontier"; exit 1;
+}
+grep -q '"layout": "fused"' "$tmp/BENCH_sweep.json" || {
+  echo "sweep JSON missing fused-layout runs"; exit 1;
 }
 
 echo "verify: OK"
