@@ -149,7 +149,22 @@ impl Allowlist {
     /// appended as findings of pass `allowlist`.
     #[must_use]
     pub fn apply(&self, findings: Vec<Finding>, sources: &[SourceFile]) -> Vec<Finding> {
-        let mut used = vec![false; self.entries.len()];
+        self.apply_for(findings, sources, None)
+    }
+
+    /// [`Allowlist::apply`] for a `--pass`-filtered run: entries whose
+    /// `pass` differs from the selected pass are ignored entirely — they
+    /// may still match in a full run, so they are not reported stale.
+    #[must_use]
+    pub fn apply_for(
+        &self,
+        findings: Vec<Finding>,
+        sources: &[SourceFile],
+        pass_filter: Option<&str>,
+    ) -> Vec<Finding> {
+        let in_scope =
+            |e: &Entry| pass_filter.is_none() || pass_filter.is_some_and(|p| e.pass == p);
+        let mut used: Vec<bool> = self.entries.iter().map(|e| !in_scope(e)).collect();
         let mut out = Vec::new();
         for finding in findings {
             let line_text = sources

@@ -1,0 +1,334 @@
+//! Workspace-level function index and conservative call resolution.
+//!
+//! [`Workspace::build`] parses every **library** source file (tests,
+//! benches and binaries are out of scope for the semantic passes — they
+//! may allocate and panic freely) into [`FnFact`]s and indexes them by
+//! name and by `impl` subject.
+//!
+//! Resolution is deliberately under-approximate — with no type
+//! information, a wrong edge is worse than a missing one for the
+//! lock-order pass (phantom cycles), while the hot-path pass prefers
+//! recall. Hence two modes:
+//!
+//! * [`Workspace::resolve_strict`] — only edges that are almost certainly
+//!   real: `Type::name(…)` / `Self::name(…)` through the impl index,
+//!   `self.name(…)` within the caller's own impl, and *bare* calls whose
+//!   name is globally unique in the workspace. Method calls on any other
+//!   receiver never resolve strictly — `guard.add(…)` on a lock guard
+//!   dispatches to the locked type, not to a same-named workspace fn.
+//! * [`Workspace::resolve_broad`] — strict, plus: an unresolved call
+//!   fans out to *every* same-named workspace function, provided there
+//!   are at most [`BROAD_FANOUT_CAP`] candidates (common names like
+//!   `len` or `get` would otherwise connect everything to everything).
+
+use crate::parser::{parse_file, CallSite, FnFact};
+use crate::{Category, SourceFile};
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum candidate set size for broad (name-only) resolution; above
+/// this the name is considered too generic to produce useful edges.
+pub const BROAD_FANOUT_CAP: usize = 8;
+
+/// Method names that are almost certainly std iterator/container/Option
+/// combinators when they appear as `.name(…)` on a non-`self` receiver.
+/// Broad resolution refuses to fan these out to same-named workspace
+/// functions (strict resolution — `self.`/`Type::` — still works).
+const STD_METHOD_NAMES: [&str; 40] = [
+    "all",
+    "any",
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "for_each",
+    "take",
+    "take_while",
+    "skip",
+    "skip_while",
+    "zip",
+    "chain",
+    "rev",
+    "enumerate",
+    "find",
+    "find_map",
+    "position",
+    "count",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "last",
+    "nth",
+    "len",
+    "is_empty",
+    "iter",
+    "into_iter",
+    "next",
+    "get",
+    "contains",
+    "extend",
+    "push",
+    "insert",
+    "remove",
+    "clear",
+    "default",
+    "join",
+];
+
+/// All library functions of the workspace, with lookup indices.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Every function fact; `FnFact::file` indexes the caller's source
+    /// list (the same one passed to [`Workspace::build`]).
+    pub fns: Vec<FnFact>,
+    by_name: HashMap<String, Vec<usize>>,
+    by_impl: HashMap<(String, String), Vec<usize>>,
+}
+
+impl Workspace {
+    /// Parses facts out of every `Category::Lib` file in `sources` and
+    /// builds the indices. File indices in the returned facts refer to
+    /// positions in `sources`.
+    #[must_use]
+    pub fn build(sources: &[SourceFile]) -> Self {
+        let mut ws = Self::default();
+        for (idx, src) in sources.iter().enumerate() {
+            if src.category != Category::Lib {
+                continue;
+            }
+            ws.fns.extend(parse_file(idx, src));
+        }
+        for (i, f) in ws.fns.iter().enumerate() {
+            ws.by_name.entry(f.name.clone()).or_default().push(i);
+            if let Some(t) = &f.impl_type {
+                ws.by_impl
+                    .entry((t.clone(), f.name.clone()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        ws
+    }
+
+    /// Functions named `name` anywhere in the workspace.
+    #[must_use]
+    pub fn by_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Functions named `name` in impls/traits of `subject`.
+    #[must_use]
+    pub fn by_impl(&self, subject: &str, name: &str) -> &[usize] {
+        self.by_impl
+            .get(&(subject.to_string(), name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// High-confidence resolution of `call` made from `caller` (an index
+    /// into [`Workspace::fns`]). Empty when uncertain.
+    #[must_use]
+    pub fn resolve_strict(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        let caller_impl = self.fns[caller].impl_type.as_deref();
+        if let Some(qual) = &call.qual {
+            let subject = if qual == "Self" {
+                match caller_impl {
+                    Some(t) => t,
+                    None => return Vec::new(),
+                }
+            } else {
+                qual.as_str()
+            };
+            return self.by_impl(subject, &call.name).to_vec();
+        }
+        if call.is_method {
+            if call.receiver_is_self {
+                if let Some(t) = caller_impl {
+                    return self.by_impl(t, &call.name).to_vec();
+                }
+            }
+            // Method on any other receiver: never strict. Even a globally
+            // unique name is untrustworthy here — `guard.add(…)` on a
+            // lock guard dispatches to the locked type, and resolving it
+            // by name alone manufactures phantom lock-order edges.
+            return Vec::new();
+        }
+        // Bare call: trust the name only when it is globally unique.
+        let all = self.by_name(&call.name);
+        if all.len() == 1 {
+            all.to_vec()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Recall-leaning resolution: strict, else every same-named function
+    /// when the candidate set is small enough to be meaningful. Two
+    /// fan-out guards keep the phantom-edge rate down:
+    ///
+    /// * a *qualified* call that missed the impl index targets a type
+    ///   outside the workspace facts (`f64::from_bits`, `std::mem::take`)
+    ///   — resolving it by bare name would wire std calls to unrelated
+    ///   workspace functions;
+    /// * method calls named like std iterator/container combinators
+    ///   (`.all(…)`, `.take(…)`, `.len()`) almost always *are* the std
+    ///   method, not a workspace fn that happens to share the name.
+    #[must_use]
+    pub fn resolve_broad(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        let strict = self.resolve_strict(caller, call);
+        if !strict.is_empty() {
+            return strict;
+        }
+        if call.qual.is_some() {
+            return Vec::new();
+        }
+        if call.is_method && STD_METHOD_NAMES.contains(&call.name.as_str()) {
+            return Vec::new();
+        }
+        let all = self.by_name(&call.name);
+        if !all.is_empty() && all.len() <= BROAD_FANOUT_CAP {
+            all.to_vec()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// BFS over broad call edges from `roots`; returns, for every
+    /// reachable function, the index of the root it was first reached
+    /// from (roots map to themselves).
+    #[must_use]
+    pub fn reachable_broad(&self, roots: &[usize]) -> HashMap<usize, usize> {
+        let mut witness: HashMap<usize, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if witness.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            let root = witness.get(&at).copied().unwrap_or(at);
+            // Indices stay valid across the loop; clone the call list to
+            // appease the borrow on `self.fns`.
+            let calls: Vec<CallSite> = self.fns[at].calls.clone();
+            for call in &calls {
+                for next in self.resolve_broad(at, call) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = witness.entry(next) {
+                        e.insert(root);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        witness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+    use crate::lexer::lex;
+
+    fn src(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel_path: path.to_string(),
+            category: classify(path),
+            lexed: lex(text),
+            lines: text.lines().map(str::to_string).collect(),
+        }
+    }
+
+    fn ws(text: &str) -> Workspace {
+        Workspace::build(&[src("crates/x/src/lib.rs", text)])
+    }
+
+    fn idx(ws: &Workspace, qualified: &str) -> usize {
+        ws.fns
+            .iter()
+            .position(|f| f.qualified() == qualified)
+            .expect("fn present")
+    }
+
+    #[test]
+    fn strict_resolves_self_methods_and_quals() {
+        let w = ws(
+            "impl E {\n    fn a(&self) { self.b(); E::c(); Self::c(); }\n    fn b(&self) {}\n    fn c() {}\n}\n",
+        );
+        let a = idx(&w, "E::a");
+        let resolved: Vec<String> = w.fns[a]
+            .calls
+            .iter()
+            .flat_map(|c| w.resolve_strict(a, c))
+            .map(|i| w.fns[i].qualified())
+            .collect();
+        assert_eq!(resolved, ["E::b", "E::c", "E::c"]);
+    }
+
+    #[test]
+    fn strict_resolves_globally_unique_bare_calls() {
+        let w = ws("fn a() { helper(); }\nfn helper() {}\n");
+        let a = idx(&w, "a");
+        let r = w.resolve_strict(a, &w.fns[a].calls[0]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(w.fns[r[0]].name, "helper");
+    }
+
+    #[test]
+    fn strict_refuses_ambiguous_names() {
+        let w = ws(
+            "impl A {\n    fn go(&self) {}\n}\nimpl B {\n    fn go(&self) {}\n}\nfn f(x: &A) { x.go(); }\n",
+        );
+        let f = idx(&w, "f");
+        assert!(w.resolve_strict(f, &w.fns[f].calls[0]).is_empty());
+        // Broad mode fans out to both.
+        assert_eq!(w.resolve_broad(f, &w.fns[f].calls[0]).len(), 2);
+    }
+
+    #[test]
+    fn broad_refuses_qualified_calls_to_unknown_types() {
+        // `f64::from_bits(x)` / `std::mem::take(x)` must not fan out by
+        // bare name to same-named workspace fns.
+        let w = ws(
+            "fn f(x: u64) { f64::from_bits(x); }\nimpl B {\n    fn from_bits(x: u64) -> B { B }\n}\n",
+        );
+        let f = idx(&w, "f");
+        assert_eq!(w.fns[f].calls[0].qual.as_deref(), Some("f64"));
+        assert!(w.resolve_broad(f, &w.fns[f].calls[0]).is_empty());
+    }
+
+    #[test]
+    fn broad_refuses_std_combinator_method_names() {
+        // `.all(…)` on an iterator must not resolve to a workspace fn
+        // that happens to be named `all`.
+        let w = ws(
+            "fn f(v: &[u32]) -> bool { v.iter().all(|x| *x > 0) }\nimpl Set {\n    fn all() -> Vec<u32> { Vec::new() }\n}\n",
+        );
+        let f = idx(&w, "f");
+        let all_call = w.fns[f]
+            .calls
+            .iter()
+            .find(|c| c.name == "all")
+            .expect("`.all(` collected");
+        assert!(w.resolve_broad(f, all_call).is_empty());
+        // But a non-combinator method name still fans out.
+        let w2 = ws("fn f(s: &Store) { s.warm(); }\nimpl Store {\n    fn warm(&self) {}\n}\n");
+        let f2 = idx(&w2, "f");
+        assert_eq!(w2.resolve_broad(f2, &w2.fns[f2].calls[0]).len(), 1);
+    }
+
+    #[test]
+    fn reachability_with_root_witness() {
+        let w = ws("fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}\n");
+        let root = idx(&w, "root");
+        let map = w.reachable_broad(&[root]);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.get(&idx(&w, "leaf")), Some(&root));
+        assert!(!map.contains_key(&idx(&w, "island")));
+    }
+
+    #[test]
+    fn non_lib_files_are_excluded() {
+        let w = Workspace::build(&[src("crates/x/src/main.rs", "fn main() {}\n")]);
+        assert!(w.fns.is_empty());
+    }
+}

@@ -6,11 +6,13 @@
 //! rather than crashing), `parking_lot`'s non-poisoning locks are
 //! load-bearing, library code must not panic on data, and the manual
 //! serde impls behind the checkpoint seam must never drift out of sync
-//! with their structs. This crate audits all four, over every
+//! with their structs. This crate audits all of it, over every
 //! non-`vendor/` crate, with a hand-rolled lexer (no `syn`; the build is
 //! offline) so string literals and comments can never fool a lint.
 //!
-//! Passes (see [`passes`]):
+//! Two layers of checks:
+//!
+//! **Line-level lints** on the scrubbed code view:
 //!
 //! * **ordering-audit** — every `Ordering::{Relaxed,Acquire,Release,
 //!   AcqRel,SeqCst}` use site needs an `// ORDERING:` justification
@@ -24,6 +26,19 @@
 //! * **serde-sync** — manual `Serialize`/`Deserialize` impls are
 //!   cross-checked against their struct's field list.
 //!
+//! **Semantic passes** on per-function facts ([`parser`]) and the
+//! workspace call graph ([`callgraph`]):
+//!
+//! * **atomic-protocol** — atomic use sites grouped by field must agree:
+//!   a `Release`-side store needs an `Acquire`-or-stronger load in scope
+//!   and vice versa, and `Relaxed`-only fields need an explicit
+//!   `// ORDERING: relaxed-ok …` justification;
+//! * **lock-order** — the global lock-acquisition graph (guard hold
+//!   spans propagated through the call graph) must be acyclic; any
+//!   cycle is deadlock potential;
+//! * **hot-path-hygiene** — functions reachable from `// HOT` annotated
+//!   roots must not allocate, `format!`, or `clone()` in steady state.
+//!
 //! Deliberate exceptions live in `analyzer-allow.toml` at the workspace
 //! root; every entry requires a reason string and stale entries are
 //! themselves findings.
@@ -32,11 +47,26 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod passes;
 pub mod report;
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Every pass the analyzer runs, in execution order. `--pass NAME`
+/// selects one; anything else is a usage error.
+pub const PASS_NAMES: [&str; 7] = [
+    "ordering-audit",
+    "unsafe-gate",
+    "lock-discipline",
+    "serde-sync",
+    "atomic-protocol",
+    "lock-order",
+    "hot-path-hygiene",
+];
 
 /// What kind of target a source file belongs to — decides which passes
 /// apply (test/bench/binary code is exempt from lock-discipline).
@@ -102,6 +132,29 @@ pub struct Finding {
     pub message: String,
 }
 
+/// Per-pass execution record: how long the pass took and how many of the
+/// final (post-allowlist) findings it owns.
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// Pass name (or `facts` for the shared parse + call-graph build).
+    pub pass: &'static str,
+    /// Findings surviving the allowlist for this pass.
+    pub findings: usize,
+    /// Wall-clock microseconds spent in the pass.
+    pub micros: u128,
+}
+
+/// Result of a full (or `--pass`-filtered) analyzer run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Surviving findings; empty means the gate passes.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Per-pass timing/count rows, in execution order.
+    pub timings: Vec<PassTiming>,
+}
+
 /// Classifies a workspace-relative path into a [`Category`].
 #[must_use]
 pub fn classify(rel_path: &str) -> Category {
@@ -121,12 +174,25 @@ pub fn classify(rel_path: &str) -> Category {
     }
 }
 
-/// Directories never descended into: third-party stand-ins, build output,
-/// VCS metadata, and the analyzer's own deliberately-bad lint fixtures.
-const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
+/// Directory *names* never descended into: third-party stand-ins, build
+/// output, VCS metadata. The analyzer's own deliberately-bad lint
+/// fixtures are skipped by workspace-relative path instead — see
+/// [`is_analyzer_fixture_dir`] — so a future crate's real `fixtures/`
+/// module is not silently exempt from the gate.
+const SKIP_DIRS: [&str; 3] = ["vendor", "target", ".git"];
 
-/// Recursively collects workspace `.rs` files (skipping [`SKIP_DIRS`]),
-/// sorted by path for deterministic output.
+/// Whether a workspace-relative directory is the analyzer's own lint
+/// fixture corpus (`crates/analyzer/tests/fixtures`) — the only
+/// `fixtures` directory exempt from scanning.
+#[must_use]
+pub fn is_analyzer_fixture_dir(rel_dir: &str) -> bool {
+    rel_dir == "crates/analyzer/tests/fixtures"
+        || rel_dir.ends_with("/crates/analyzer/tests/fixtures")
+}
+
+/// Recursively collects workspace `.rs` files (skipping [`SKIP_DIRS`] and
+/// the analyzer's fixture corpus), sorted by path for deterministic
+/// output.
 ///
 /// # Errors
 /// Propagates directory-walk I/O errors.
@@ -193,6 +259,13 @@ fn walk(root: &Path, dir: &Path, on_file: &mut impl FnMut(&Path, &str)) -> std::
             if SKIP_DIRS.contains(&name.as_ref()) {
                 continue;
             }
+            let rel_dir = path
+                .strip_prefix(root)
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+                .unwrap_or_default();
+            if is_analyzer_fixture_dir(&rel_dir) {
+                continue;
+            }
             walk(root, &path, on_file)?;
         } else if let Ok(rel) = path.strip_prefix(root) {
             let rel = rel.to_string_lossy().replace('\\', "/");
@@ -206,22 +279,110 @@ fn walk(root: &Path, dir: &Path, on_file: &mut impl FnMut(&Path, &str)) -> std::
 /// Returns the surviving findings (empty means the gate passes) and the
 /// number of files scanned.
 ///
+/// Compatibility wrapper over [`run_passes`] (which also reports
+/// per-pass timings and supports `--pass` filtering).
+///
 /// # Errors
 /// Propagates I/O errors from discovery or allowlist parsing.
 pub fn analyze_workspace(
     root: &Path,
     allow_path: Option<&Path>,
 ) -> std::io::Result<(Vec<Finding>, usize)> {
+    let analysis = run_passes(root, allow_path, None)?;
+    Ok((analysis.findings, analysis.files_scanned))
+}
+
+/// Runs the analyzer over the workspace at `root`. `pass_filter` limits
+/// the run to one pass from [`PASS_NAMES`]; allowlist entries for other
+/// passes are then ignored entirely (not reported stale — they may still
+/// match in a full run).
+///
+/// # Errors
+/// Propagates I/O errors from discovery or allowlist parsing.
+pub fn run_passes(
+    root: &Path,
+    allow_path: Option<&Path>,
+    pass_filter: Option<&str>,
+) -> std::io::Result<Analysis> {
     let sources = discover_sources(root)?;
     let crates = discover_crates(root)?;
+    let enabled = |name: &str| pass_filter.is_none_or(|p| p == name);
 
-    let mut findings = Vec::new();
-    for src in &sources {
-        findings.extend(passes::ordering::check(src));
-        findings.extend(passes::locks::check(src));
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut timings: Vec<PassTiming> = Vec::new();
+    let timed = |name: &'static str,
+                 findings: &mut Vec<Finding>,
+                 timings: &mut Vec<PassTiming>,
+                 produce: &mut dyn FnMut() -> Vec<Finding>| {
+        let t0 = Instant::now();
+        let found = produce();
+        timings.push(PassTiming {
+            pass: name,
+            findings: 0, // patched to the post-allowlist count below
+            micros: t0.elapsed().as_micros(),
+        });
+        findings.extend(found);
+    };
+
+    if enabled("ordering-audit") {
+        timed("ordering-audit", &mut findings, &mut timings, &mut || {
+            sources.iter().flat_map(passes::ordering::check).collect()
+        });
     }
-    findings.extend(passes::unsafe_gate::check(root, &crates));
-    findings.extend(passes::serde_sync::check(&sources));
+    if enabled("unsafe-gate") {
+        timed("unsafe-gate", &mut findings, &mut timings, &mut || {
+            passes::unsafe_gate::check(root, &crates)
+        });
+    }
+    if enabled("lock-discipline") {
+        timed("lock-discipline", &mut findings, &mut timings, &mut || {
+            sources.iter().flat_map(passes::locks::check).collect()
+        });
+    }
+    if enabled("serde-sync") {
+        timed("serde-sync", &mut findings, &mut timings, &mut || {
+            passes::serde_sync::check(&sources)
+        });
+    }
+
+    let semantic = [
+        passes::atomic_protocol::NAME,
+        passes::lock_order::NAME,
+        passes::hot_path::NAME,
+    ];
+    if semantic.iter().any(|n| enabled(n)) {
+        let t0 = Instant::now();
+        let ws = callgraph::Workspace::build(&sources);
+        timings.push(PassTiming {
+            pass: "facts",
+            findings: 0,
+            micros: t0.elapsed().as_micros(),
+        });
+        if enabled(passes::atomic_protocol::NAME) {
+            timed(
+                passes::atomic_protocol::NAME,
+                &mut findings,
+                &mut timings,
+                &mut || passes::atomic_protocol::check(&ws, &sources),
+            );
+        }
+        if enabled(passes::lock_order::NAME) {
+            timed(
+                passes::lock_order::NAME,
+                &mut findings,
+                &mut timings,
+                &mut || passes::lock_order::check(&ws, &sources),
+            );
+        }
+        if enabled(passes::hot_path::NAME) {
+            timed(
+                passes::hot_path::NAME,
+                &mut findings,
+                &mut timings,
+                &mut || passes::hot_path::check(&ws, &sources),
+            );
+        }
+    }
 
     let default_allow = root.join("analyzer-allow.toml");
     let allow_path = allow_path.unwrap_or(&default_allow);
@@ -230,7 +391,36 @@ pub fn analyze_workspace(
     } else {
         allow::Allowlist::default()
     };
-    let findings = allowlist.apply(findings, &sources);
+    let findings = allowlist.apply_for(findings, &sources, pass_filter);
 
-    Ok((findings, sources.len()))
+    for t in &mut timings {
+        t.findings = findings.iter().filter(|f| f.pass == t.pass).count();
+    }
+
+    Ok(Analysis {
+        findings,
+        files_scanned: sources.len(),
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_dir_scope_is_exact() {
+        assert!(is_analyzer_fixture_dir("crates/analyzer/tests/fixtures"));
+        assert!(!is_analyzer_fixture_dir("crates/core/tests/fixtures"));
+        assert!(!is_analyzer_fixture_dir("crates/core/src/fixtures"));
+        assert!(!is_analyzer_fixture_dir("fixtures"));
+    }
+
+    #[test]
+    fn pass_names_are_distinct_and_ordered() {
+        let mut sorted = PASS_NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), PASS_NAMES.len());
+    }
 }

@@ -1,15 +1,20 @@
 //! `freesketch-analyzer` — CLI entry point for the workspace lint gate.
 //!
-//! Usage: `freesketch-analyzer [--json] [--root DIR] [--allow FILE]`.
+//! Usage: `freesketch-analyzer [--json] [--root DIR] [--allow FILE]
+//! [--pass NAME] [--list-passes]`.
 //! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "freesketch-analyzer [--json] [--root DIR] [--allow FILE] [--pass NAME] [--list-passes]";
+
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut allow: Option<PathBuf> = None;
+    let mut pass: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -23,17 +28,38 @@ fn main() -> ExitCode {
                 Some(v) => allow = Some(PathBuf::from(v)),
                 None => return usage("--allow requires a file argument"),
             },
+            "--pass" => match args.next() {
+                Some(v) => pass = Some(v),
+                None => return usage("--pass requires a pass name argument"),
+            },
+            "--list-passes" => {
+                for name in analyzer::PASS_NAMES {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!(
-                    "freesketch-analyzer [--json] [--root DIR] [--allow FILE]\n\
+                    "{USAGE}\n\
                      \n\
-                     Static-analysis gate for the freesketch workspace:\n\
-                     ordering-audit, unsafe-gate, lock-discipline, serde-sync.\n\
+                     Static-analysis gate for the freesketch workspace. Passes:\n\
+                     ordering-audit, unsafe-gate, lock-discipline, serde-sync,\n\
+                     atomic-protocol, lock-order, hot-path-hygiene.\n\
+                     --pass NAME runs a single pass; --list-passes prints the names.\n\
                      Exit status: 0 clean, 1 findings, 2 usage/I/O error."
                 );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Some(name) = &pass {
+        if !analyzer::PASS_NAMES.contains(&name.as_str()) {
+            return usage(&format!(
+                "unknown pass `{name}` (use --list-passes to see the {} available)",
+                analyzer::PASS_NAMES.len()
+            ));
         }
     }
 
@@ -51,15 +77,23 @@ fn main() -> ExitCode {
         },
     };
 
-    match analyzer::analyze_workspace(&root, allow.as_deref()) {
-        Ok((findings, files_scanned)) => {
+    match analyzer::run_passes(&root, allow.as_deref(), pass.as_deref()) {
+        Ok(analysis) => {
             let rendered = if json {
-                analyzer::report::json(&findings, files_scanned)
+                analyzer::report::json(
+                    &analysis.findings,
+                    analysis.files_scanned,
+                    &analysis.timings,
+                )
             } else {
-                analyzer::report::human(&findings, files_scanned)
+                analyzer::report::human(
+                    &analysis.findings,
+                    analysis.files_scanned,
+                    &analysis.timings,
+                )
             };
             print!("{rendered}");
-            if findings.is_empty() {
+            if analysis.findings.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)
@@ -73,7 +107,7 @@ fn main() -> ExitCode {
 }
 
 fn usage(problem: &str) -> ExitCode {
-    eprintln!("freesketch-analyzer: {problem}\nusage: freesketch-analyzer [--json] [--root DIR] [--allow FILE]");
+    eprintln!("freesketch-analyzer: {problem}\nusage: {USAGE}");
     ExitCode::from(2)
 }
 

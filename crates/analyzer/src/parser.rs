@@ -1,0 +1,1088 @@
+//! A brace-matched item parser on top of [`crate::lexer`] — the semantic
+//! layer's view of a source file.
+//!
+//! The lexer classifies bytes; this module recovers *items*: every `fn`
+//! with its body span, the `impl`/`trait` block it lives in, and the
+//! per-function facts the interprocedural passes consume —
+//!
+//! * **atomics touched**: receiver field, operation kind (load / store /
+//!   RMW) and the `Ordering` argument(s) of every atomic call site;
+//! * **locks acquired**: every `.lock()` / `.read()` / `.write()` with the
+//!   byte span the guard is held over (end of the enclosing block for
+//!   `let`-bound guards, end of the statement for temporaries);
+//! * **allocation-shaped expressions**: `vec!` / `format!` / `Box::new` /
+//!   `.clone()` / `.collect()` and friends, for the hot-path pass;
+//! * **outgoing calls**: callee name plus enough context (method vs free,
+//!   `Type::` qualifier, `self.` receiver) for conservative resolution.
+//!
+//! Everything is heuristic text analysis over the scrubbed view — no type
+//! information, no `syn` (the build is offline). The call-graph layer in
+//! [`crate::callgraph`] documents the resolution rules and their
+//! deliberate under-approximation.
+
+use crate::lexer::Comment;
+use crate::passes::{is_ident, match_delim, skip_ws, test_mod_line_ranges};
+use crate::SourceFile;
+
+/// A half-open byte range into a file's scrubbed text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Whether `offset` falls inside the span.
+    #[must_use]
+    pub fn contains(&self, offset: usize) -> bool {
+        (self.start..self.end).contains(&offset)
+    }
+
+    /// Span length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// What an atomic call site does to its cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicKind {
+    /// Pure read (`load`, or the failure ordering of a CAS).
+    Load,
+    /// Pure write (`store`).
+    Store,
+    /// Read-modify-write (`fetch_*`, `swap`, CAS success ordering).
+    Rmw,
+}
+
+/// One (kind, ordering) fact of an atomic call site. A `compare_exchange`
+/// contributes two: the success ordering as [`AtomicKind::Rmw`] and the
+/// failure ordering as [`AtomicKind::Load`].
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// Receiver's final segment (`self.words[i].load(…)` → `words`).
+    pub field: String,
+    /// Whether the receiver chain starts at `self`.
+    pub via_self: bool,
+    /// What the operation does.
+    pub kind: AtomicKind,
+    /// The `Ordering::` variant name (`Relaxed`, `Acquire`, …).
+    pub ordering: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Whether an `// ORDERING: relaxed-ok …` block justifies this site.
+    pub relaxed_ok: bool,
+}
+
+/// One lock acquisition (`.lock()` / `.read()` / `.write()`, parking_lot
+/// style — empty argument list).
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Receiver's final segment (`self.slices.read()` → `slices`).
+    pub name: String,
+    /// Whether the receiver chain starts at `self`.
+    pub via_self: bool,
+    /// `lock`, `read` or `write`.
+    pub method: &'static str,
+    /// 1-based source line.
+    pub line: usize,
+    /// Byte offset of the call in the scrubbed text.
+    pub offset: usize,
+    /// One past the last byte over which the guard is conservatively held:
+    /// the enclosing block for `let`-bound guards, the statement for
+    /// temporaries.
+    pub hold_end: usize,
+}
+
+/// One allocation-shaped expression (for the hot-path pass).
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// The matched construct, e.g. `vec!` or `clone`.
+    pub what: &'static str,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One outgoing call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (final path segment).
+    pub name: String,
+    /// `Type` of a `Type::name(…)` call (with `Self` left as written).
+    pub qual: Option<String>,
+    /// Whether the call is a method call (`recv.name(…)`).
+    pub is_method: bool,
+    /// Whether the method receiver is exactly `self`.
+    pub receiver_is_self: bool,
+    /// 1-based source line.
+    pub line: usize,
+    /// Byte offset of the callee name in the scrubbed text.
+    pub offset: usize,
+}
+
+/// One `fn` item with its extracted facts.
+#[derive(Debug)]
+pub struct FnFact {
+    /// Index of the containing file in the pass's source list.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Name of the enclosing `impl`/`trait` type, when any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Body span in the scrubbed text (`None` for bodyless trait methods).
+    pub body: Option<Span>,
+    /// Whether a `// HOT` annotation marks this function as a hot-path
+    /// root.
+    pub hot: bool,
+    /// Atomic operations in the body (innermost-function attribution).
+    pub atomics: Vec<AtomicSite>,
+    /// Lock acquisitions in the body.
+    pub locks: Vec<LockSite>,
+    /// Allocation-shaped expressions in the body.
+    pub allocs: Vec<AllocSite>,
+    /// Outgoing calls from the body.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnFact {
+    /// `Type::name` when the function lives in an impl/trait, else `name`.
+    #[must_use]
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Atomic methods and how their `Ordering` arguments map to kinds.
+const ATOMIC_METHODS: [(&str, AtomicKind); 12] = [
+    ("load", AtomicKind::Load),
+    ("store", AtomicKind::Store),
+    ("swap", AtomicKind::Rmw),
+    ("fetch_add", AtomicKind::Rmw),
+    ("fetch_sub", AtomicKind::Rmw),
+    ("fetch_or", AtomicKind::Rmw),
+    ("fetch_and", AtomicKind::Rmw),
+    ("fetch_xor", AtomicKind::Rmw),
+    ("fetch_nand", AtomicKind::Rmw),
+    ("fetch_max", AtomicKind::Rmw),
+    ("fetch_min", AtomicKind::Rmw),
+    ("compare_exchange", AtomicKind::Rmw),
+];
+
+/// Two-ordering atomic methods: first `Ordering` is the RMW/success side,
+/// second is the failure/fetch load side.
+const TWO_ORDERING_METHODS: [&str; 3] =
+    ["compare_exchange", "compare_exchange_weak", "fetch_update"];
+
+/// Lock-acquisition methods (parking_lot / std guard style, no arguments).
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Allocation-shaped constructs searched with identifier boundaries.
+const ALLOC_WORDS: [&str; 13] = [
+    "format!",
+    "vec!",
+    "Box::new",
+    "Arc::new",
+    "Rc::new",
+    "String::new",
+    "String::from",
+    "String::with_capacity",
+    "Vec::new",
+    "Vec::with_capacity",
+    "VecDeque::new",
+    "VecDeque::with_capacity",
+    "Box::default",
+];
+
+/// Allocation-shaped method calls searched as exact substrings (the
+/// leading `.` and trailing `(` make them unambiguous).
+const ALLOC_METHODS: [&str; 7] = [
+    ".clone(",
+    ".to_string(",
+    ".to_owned(",
+    ".to_vec(",
+    ".collect(",
+    ".collect::<",
+    ".cloned(",
+];
+
+/// Keywords that look like call syntax but are not calls.
+const KEYWORDS: [&str; 22] = [
+    "if", "while", "for", "match", "loop", "return", "as", "in", "move", "fn", "let", "else",
+    "await", "box", "unsafe", "ref", "mut", "dyn", "impl", "where", "use", "pub",
+];
+
+/// A comment block (consecutive line comments merged), with the markers the
+/// semantic passes care about.
+struct Block {
+    end_line: usize,
+    relaxed_ok: bool,
+    hot: bool,
+}
+
+/// How many lines above a site a justification/annotation block may end
+/// (same window as the ordering-audit pass; attributes between the block
+/// and the item eat into it).
+const WINDOW: usize = 3;
+
+fn coalesce(comments: &[Comment]) -> Vec<Block> {
+    let mut blocks: Vec<Block> = Vec::new();
+    for c in comments {
+        let relaxed_ok = c.text.contains("ORDERING:") && c.text.contains("relaxed-ok");
+        let hot = is_hot_marker(&c.text);
+        match blocks.last_mut() {
+            Some(last) if c.line <= last.end_line + 1 => {
+                last.end_line = last.end_line.max(c.end_line);
+                last.relaxed_ok |= relaxed_ok;
+                last.hot |= hot;
+            }
+            _ => blocks.push(Block {
+                end_line: c.end_line,
+                relaxed_ok,
+                hot,
+            }),
+        }
+    }
+    blocks
+}
+
+/// Whether a comment's text carries the `HOT` root marker: some line whose
+/// content (after comment punctuation) starts with the word `HOT`.
+fn is_hot_marker(text: &str) -> bool {
+    text.lines().any(|l| {
+        let t = l
+            .trim_start_matches(['/', '*', '!', ' ', '\t'])
+            .trim_start();
+        t.strip_prefix("HOT")
+            .is_some_and(|rest| !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_'))
+    })
+}
+
+fn block_marks(blocks: &[Block], site_line: usize, pick: impl Fn(&Block) -> bool) -> bool {
+    blocks
+        .iter()
+        .any(|b| pick(b) && b.end_line <= site_line && site_line - b.end_line <= WINDOW)
+}
+
+/// Parses one file into its functions-with-facts. `file` is the index the
+/// caller will use to refer back to the file.
+#[must_use]
+pub fn parse_file(file: usize, src: &SourceFile) -> Vec<FnFact> {
+    let s = &src.lexed.scrubbed;
+    let bytes = s.as_bytes();
+    let blocks = coalesce(&src.lexed.comments);
+    let test_ranges = test_mod_line_ranges(&src.lexed);
+    let impls = impl_spans(s);
+
+    let mut fns = fn_items(file, src, &impls, &blocks, &test_ranges);
+    // Sort by span size ascending so the *first* containing function found
+    // for a site is the innermost one (nested fns are smaller).
+    let bodies: Vec<Option<Span>> = fns.iter().map(|f| f.body).collect();
+    let mut order: Vec<usize> = (0..fns.len()).collect();
+    order.sort_by_key(|&i| bodies[i].map_or(0, |b| b.len()));
+
+    let owner_of = move |offset: usize| -> Option<usize> {
+        order
+            .iter()
+            .copied()
+            .find(|&i| bodies[i].is_some_and(|b| b.contains(offset)))
+    };
+
+    collect_atomics(src, bytes, &blocks, &mut fns, &owner_of);
+    collect_locks(src, bytes, &mut fns, &owner_of);
+    collect_allocs(src, s, &mut fns, &owner_of);
+    collect_calls(src, bytes, &mut fns, &owner_of);
+    fns
+}
+
+/// `impl`/`trait` blocks: body span plus the subject type name.
+fn impl_spans(s: &str) -> Vec<(Span, String)> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    for kw in ["impl", "trait"] {
+        for at in crate::passes::word_occurrences(s, kw) {
+            // Item position only: `-> impl Trait` / `: impl Fn(…)` /
+            // `&dyn …` type positions are preceded by punctuation other
+            // than an item boundary.
+            let mut p = at;
+            while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+                p -= 1;
+            }
+            if p > 0 && !matches!(bytes[p - 1], b'{' | b'}' | b';' | b']') {
+                continue;
+            }
+            let Some((body, name)) = parse_impl_header(bytes, s, at + kw.len()) else {
+                continue;
+            };
+            out.push((body, name));
+        }
+    }
+    out
+}
+
+/// Parses an impl/trait header starting right after the keyword; returns
+/// the subject type name (the type after `for` when present, else the
+/// first type path) and the body span.
+fn parse_impl_header(bytes: &[u8], s: &str, mut i: usize) -> Option<(Span, String)> {
+    i = skip_ws(bytes, i);
+    if bytes.get(i) == Some(&b'<') {
+        i = skip_angles(bytes, i);
+    }
+    // Scan the header up to the opening brace, tracking the last `for`
+    // keyword at angle-depth 0 so `impl Trait for Type` resolves to Type.
+    let brace = find_at_depth(bytes, i, b'{')?;
+    let header = &s[i..brace];
+    let subject = match split_for(header) {
+        Some(after_for) => first_path_segment(after_for),
+        None => first_path_segment(header),
+    }?;
+    let end = match_delim(bytes, brace);
+    Some((Span { start: brace, end }, subject))
+}
+
+/// Finds ` for ` at angle-depth 0 in an impl header and returns the text
+/// after it.
+fn split_for(header: &str) -> Option<&str> {
+    let bytes = header.as_bytes();
+    for at in crate::passes::word_occurrences(header, "for") {
+        let mut depth = 0usize;
+        for &b in &bytes[..at] {
+            match b {
+                b'<' => depth += 1,
+                b'>' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if depth == 0 {
+            return Some(&header[at + 3..]);
+        }
+    }
+    None
+}
+
+/// The last identifier of the first type path in `text`, stopping at `<`,
+/// `where` or the end (`graphstream::SnapshotError` → `SnapshotError`).
+fn first_path_segment(text: &str) -> Option<String> {
+    let text = text.trim_start();
+    let mut last = None;
+    let mut i = 0;
+    let bytes = text.as_bytes();
+    while i < bytes.len() {
+        let c = bytes[i];
+        if is_ident(c) {
+            let start = i;
+            while i < bytes.len() && is_ident(bytes[i]) {
+                i += 1;
+            }
+            last = Some(text[start..i].to_string());
+        } else if c == b':' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    last.filter(|n| n != "where")
+}
+
+/// Skips a balanced `<…>` group starting at `open`; `>` preceded by `-` or
+/// `=` (arrow / fat-arrow) does not close.
+fn skip_angles(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && (bytes[i - 1] == b'-' || bytes[i - 1] == b'=') => {}
+            b'>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Finds `target` from `i` at bracket-depth 0 (tracking `(` `[` nesting so
+/// `-> [u8; 4] {` is not terminated by the inner `;`). Returns its offset.
+fn find_at_depth(bytes: &[u8], mut i: usize, target: u8) -> Option<usize> {
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == target && paren == 0 && bracket == 0 {
+            return Some(i);
+        }
+        match c {
+            b'(' => paren += 1,
+            b')' => paren = paren.saturating_sub(1),
+            b'[' => bracket += 1,
+            b']' => bracket = bracket.saturating_sub(1),
+            b';' if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn fn_items(
+    file: usize,
+    src: &SourceFile,
+    impls: &[(Span, String)],
+    blocks: &[Block],
+    test_ranges: &[(usize, usize)],
+) -> Vec<FnFact> {
+    let s = &src.lexed.scrubbed;
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    for at in crate::passes::word_occurrences(s, "fn") {
+        let line = src.lexed.line_of(at);
+        if crate::passes::in_ranges(test_ranges, line) {
+            continue;
+        }
+        let mut i = skip_ws(bytes, at + 2);
+        let name_start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue; // `fn(u64) -> u64` pointer type, not an item
+        }
+        let name = s[name_start..i].to_string();
+        i = skip_ws(bytes, i);
+        if bytes.get(i) == Some(&b'<') {
+            i = skip_angles(bytes, i);
+            i = skip_ws(bytes, i);
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        i = match_delim(bytes, i);
+        // Body: the next `{` at bracket-depth 0 before any terminating `;`.
+        let body = find_at_depth(bytes, i, b'{').map(|brace| Span {
+            start: brace,
+            end: match_delim(bytes, brace),
+        });
+        let impl_type = impls
+            .iter()
+            .filter(|(span, _)| span.contains(at))
+            .min_by_key(|(span, _)| span.len())
+            .map(|(_, name)| name.clone());
+        out.push(FnFact {
+            file,
+            name,
+            impl_type,
+            line,
+            body,
+            hot: false,
+            atomics: Vec::new(),
+            locks: Vec::new(),
+            allocs: Vec::new(),
+            calls: Vec::new(),
+        });
+    }
+    // A `// HOT` block marks exactly one root: the *next* `fn` item, at
+    // most WINDOW lines below (attributes in between eat into the
+    // window) — not every function that happens to be nearby.
+    for b in blocks.iter().filter(|b| b.hot) {
+        if let Some(f) = out
+            .iter_mut()
+            .filter(|f| f.line >= b.end_line && f.line - b.end_line <= WINDOW)
+            .min_by_key(|f| f.line)
+        {
+            f.hot = true;
+        }
+    }
+    out
+}
+
+/// Walks backwards from the `.` of a postfix call, recovering the receiver
+/// chain. Returns `(final_segment, chain_starts_at_self)`.
+fn receiver_chain(bytes: &[u8], dot: usize, s: &str) -> Option<(String, bool)> {
+    let mut i = dot;
+    let mut rightmost: Option<(usize, usize)> = None;
+    let mut leftmost: Option<(usize, usize)> = None;
+    loop {
+        let mut j = i;
+        while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        if j == 0 {
+            break;
+        }
+        let c = bytes[j - 1];
+        if c == b')' || c == b']' {
+            let open = match_delim_back(bytes, j - 1)?;
+            j = open;
+            while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+        } else if !is_ident(c) {
+            break;
+        }
+        let end = j;
+        let mut start = j;
+        while start > 0 && is_ident(bytes[start - 1]) {
+            start -= 1;
+        }
+        if start == end {
+            return None; // parenthesised expression base: `(a | b).load(…)`
+        }
+        if rightmost.is_none() {
+            rightmost = Some((start, end));
+        }
+        leftmost = Some((start, end));
+        // Continue only across a single `.` (not `..`).
+        let mut k = start;
+        while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k > 0 && bytes[k - 1] == b'.' && !(k > 1 && bytes[k - 2] == b'.') {
+            i = k - 1;
+        } else {
+            break;
+        }
+    }
+    let (rs, re) = rightmost?;
+    let via_self = leftmost.is_some_and(|(ls, le)| &s[ls..le] == "self");
+    Some((s[rs..re].to_string(), via_self))
+}
+
+/// Backward twin of [`match_delim`]: `close` points at `)`/`]`/`}`;
+/// returns the offset of the matching opener.
+fn match_delim_back(bytes: &[u8], close: usize) -> Option<usize> {
+    let (c, o) = match bytes.get(close) {
+        Some(b')') => (b')', b'('),
+        Some(b']') => (b']', b'['),
+        Some(b'}') => (b'}', b'{'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    let mut i = close + 1;
+    while i > 0 {
+        i -= 1;
+        if bytes[i] == c {
+            depth += 1;
+        } else if bytes[i] == o {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Occurrences of `.name` (method position) where `(` follows; yields the
+/// offset of the `.` and the offset of the opening paren.
+fn method_calls<'a>(s: &'a str, name: &'a str) -> impl Iterator<Item = (usize, usize)> + 'a {
+    let bytes = s.as_bytes();
+    let needle = format!(".{name}");
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(pos) = s[from..].find(&needle) {
+            let dot = from + pos;
+            from = dot + 1;
+            let after = dot + needle.len();
+            if bytes.get(after).copied().is_some_and(is_ident) {
+                continue; // `.read_to_end(` is not `.read(`
+            }
+            let paren = skip_ws(bytes, after);
+            if bytes.get(paren) == Some(&b'(') {
+                return Some((dot, paren));
+            }
+        }
+        None
+    })
+}
+
+fn collect_atomics(
+    src: &SourceFile,
+    bytes: &[u8],
+    blocks: &[Block],
+    fns: &mut [FnFact],
+    owner_of: &impl Fn(usize) -> Option<usize>,
+) {
+    let s = &src.lexed.scrubbed;
+    for (method, kind) in ATOMIC_METHODS {
+        for (dot, paren) in method_calls(s, method) {
+            record_atomic(src, bytes, blocks, fns, owner_of, method, kind, dot, paren);
+        }
+    }
+    for method in ["compare_exchange_weak", "fetch_update"] {
+        for (dot, paren) in method_calls(s, method) {
+            record_atomic(
+                src,
+                bytes,
+                blocks,
+                fns,
+                owner_of,
+                method,
+                AtomicKind::Rmw,
+                dot,
+                paren,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_atomic(
+    src: &SourceFile,
+    bytes: &[u8],
+    blocks: &[Block],
+    fns: &mut [FnFact],
+    owner_of: &impl Fn(usize) -> Option<usize>,
+    method: &str,
+    kind: AtomicKind,
+    dot: usize,
+    paren: usize,
+) {
+    let s = &src.lexed.scrubbed;
+    let args_end = match_delim(bytes, paren);
+    let args = &s[paren..args_end];
+    let orderings = ordering_args(args);
+    if orderings.is_empty() {
+        return; // `.load(buf)` on a reader, not an atomic
+    }
+    let Some((field, via_self)) = receiver_chain(bytes, dot, s) else {
+        return;
+    };
+    let Some(owner) = owner_of(dot) else {
+        return;
+    };
+    let line = src.lexed.line_of(dot);
+    let relaxed_ok = block_marks(blocks, line, |b| b.relaxed_ok);
+    let two = TWO_ORDERING_METHODS.contains(&method);
+    for (idx, ordering) in orderings.into_iter().enumerate() {
+        let kind = if two && idx == 1 {
+            AtomicKind::Load
+        } else {
+            kind
+        };
+        fns[owner].atomics.push(AtomicSite {
+            field: field.clone(),
+            via_self,
+            kind,
+            ordering,
+            line,
+            relaxed_ok,
+        });
+    }
+}
+
+/// The `Ordering::X` variant names inside an argument list, in order.
+fn ordering_args(args: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for at in crate::passes::word_occurrences(args, "Ordering") {
+        let rest = &args[at + "Ordering".len()..];
+        let Some(rest) = rest.strip_prefix("::") else {
+            continue;
+        };
+        let end = rest
+            .as_bytes()
+            .iter()
+            .position(|&b| !is_ident(b))
+            .unwrap_or(rest.len());
+        if end > 0 {
+            out.push(rest[..end].to_string());
+        }
+    }
+    out
+}
+
+fn collect_locks(
+    src: &SourceFile,
+    bytes: &[u8],
+    fns: &mut [FnFact],
+    owner_of: &impl Fn(usize) -> Option<usize>,
+) {
+    let s = &src.lexed.scrubbed;
+    for method in LOCK_METHODS {
+        for (dot, paren) in method_calls(s, method) {
+            // Lock acquisitions take no arguments; `file.read(&mut buf)`
+            // does.
+            let close = skip_ws(bytes, paren + 1);
+            if bytes.get(close) != Some(&b')') {
+                continue;
+            }
+            let Some((name, via_self)) = receiver_chain(bytes, dot, s) else {
+                continue;
+            };
+            let Some(owner) = owner_of(dot) else {
+                continue;
+            };
+            let bound = is_let_bound(bytes, s, dot);
+            let hold_end = hold_span_end(bytes, close + 1, bound);
+            fns[owner].locks.push(LockSite {
+                name,
+                via_self,
+                method,
+                line: src.lexed.line_of(dot),
+                offset: dot,
+                hold_end,
+            });
+        }
+    }
+}
+
+/// Whether the statement containing the receiver chain that ends at `dot`
+/// starts with a `let` binding (guard outlives the statement).
+fn is_let_bound(bytes: &[u8], s: &str, dot: usize) -> bool {
+    let mut j = dot;
+    while j > 0 && !matches!(bytes[j - 1], b';' | b'{' | b'}') {
+        j -= 1;
+    }
+    !crate::passes::word_occurrences(&s[j..dot], "let").is_empty()
+}
+
+/// One past the last byte the guard is held over: to the end of the
+/// enclosing block (`let`-bound) or of the statement (temporary).
+fn hold_span_end(bytes: &[u8], mut i: usize, let_bound: bool) -> usize {
+    let mut brace = 0usize;
+    let mut paren = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => brace += 1,
+            b'}' => {
+                if brace == 0 {
+                    return i; // enclosing block closes
+                }
+                brace -= 1;
+            }
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => {
+                if paren == 0 {
+                    return i; // enclosing argument list closes
+                }
+                paren -= 1;
+            }
+            b';' if !let_bound && brace == 0 && paren == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+fn collect_allocs(
+    src: &SourceFile,
+    s: &str,
+    fns: &mut [FnFact],
+    owner_of: &impl Fn(usize) -> Option<usize>,
+) {
+    for what in ALLOC_WORDS {
+        for at in crate::passes::word_occurrences(s, what) {
+            if let Some(owner) = owner_of(at) {
+                fns[owner].allocs.push(AllocSite {
+                    what,
+                    line: src.lexed.line_of(at),
+                });
+            }
+        }
+    }
+    for what in ALLOC_METHODS {
+        let mut from = 0;
+        while let Some(pos) = s[from..].find(what) {
+            let at = from + pos;
+            from = at + what.len();
+            if let Some(owner) = owner_of(at) {
+                fns[owner].allocs.push(AllocSite {
+                    what: what
+                        .trim_start_matches('.')
+                        .trim_end_matches(['(', ':', '<']),
+                    line: src.lexed.line_of(at),
+                });
+            }
+        }
+    }
+}
+
+fn collect_calls(
+    src: &SourceFile,
+    bytes: &[u8],
+    fns: &mut [FnFact],
+    owner_of: &impl Fn(usize) -> Option<usize>,
+) {
+    let s = &src.lexed.scrubbed;
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident(bytes[i]) || (i > 0 && is_ident(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        let name = &s[start..i];
+        if bytes.get(i) == Some(&b'!') {
+            continue; // macro
+        }
+        let paren = skip_ws(bytes, i);
+        if bytes.get(paren) != Some(&b'(') {
+            continue;
+        }
+        if KEYWORDS.contains(&name) || name.as_bytes()[0].is_ascii_digit() {
+            continue;
+        }
+        if LOCK_METHODS.contains(&name) || ATOMIC_METHODS.iter().any(|(m, _)| *m == name) {
+            continue; // already captured with more context
+        }
+        let Some(owner) = owner_of(start) else {
+            continue;
+        };
+        // Context to the left of the name.
+        let mut p = start;
+        while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        let (is_method, receiver_is_self, qual) = if p > 0 && bytes[p - 1] == b'.' {
+            let recv = receiver_chain(bytes, p - 1, s);
+            let is_self = recv.as_ref().is_some_and(|(n, vs)| *vs && n == "self");
+            (true, is_self, None)
+        } else if p > 1 && bytes[p - 1] == b':' && bytes[p - 2] == b':' {
+            let mut qe = p - 2;
+            // Skip a `::<…>` turbofish-free path segment: ident only.
+            while qe > 0 && bytes[qe - 1].is_ascii_whitespace() {
+                qe -= 1;
+            }
+            let end = qe;
+            let mut qs = qe;
+            while qs > 0 && is_ident(bytes[qs - 1]) {
+                qs -= 1;
+            }
+            if qs == end {
+                (false, false, None)
+            } else {
+                (false, false, Some(s[qs..end].to_string()))
+            }
+        } else {
+            (false, false, None)
+        };
+        fns[owner].calls.push(CallSite {
+            name: name.to_string(),
+            qual,
+            is_method,
+            receiver_is_self,
+            line: src.lexed.line_of(start),
+            offset: start,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{classify, lexer::lex};
+
+    fn file(srctext: &str) -> SourceFile {
+        SourceFile {
+            rel_path: "crates/x/src/lib.rs".to_string(),
+            category: classify("crates/x/src/lib.rs"),
+            lexed: lex(srctext),
+            lines: srctext.lines().map(str::to_string).collect(),
+        }
+    }
+
+    fn parse(srctext: &str) -> Vec<FnFact> {
+        parse_file(0, &file(srctext))
+    }
+
+    #[test]
+    fn fn_items_with_impl_context() {
+        let fns = parse(
+            "impl Engine {\n    fn process(&mut self) {}\n}\nfn free() {}\nimpl Estimator for Engine {\n    fn estimate(&self) -> f64 { 0.0 }\n}\n",
+        );
+        let quals: Vec<String> = fns.iter().map(FnFact::qualified).collect();
+        assert!(quals.contains(&"Engine::process".to_string()), "{quals:?}");
+        assert!(quals.contains(&"free".to_string()));
+        assert!(
+            quals.contains(&"Engine::estimate".to_string()),
+            "impl Trait for Type binds to Type: {quals:?}"
+        );
+    }
+
+    #[test]
+    fn impl_in_type_position_is_not_a_block() {
+        let fns = parse("fn mk(f: impl Fn(u64) -> u64 + Send) -> u64 { f(1) }\n");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].impl_type, None);
+    }
+
+    #[test]
+    fn atomic_site_fields_and_orderings() {
+        let fns = parse(
+            "impl A {\n    fn get(&self) -> u64 { self.words[0].load(Ordering::Acquire) }\n    fn put(&self) { self.flag.store(1, Ordering::Release); }\n}\n",
+        );
+        let get = fns.iter().find(|f| f.name == "get").expect("get");
+        assert_eq!(get.atomics.len(), 1);
+        assert_eq!(get.atomics[0].field, "words");
+        assert!(get.atomics[0].via_self);
+        assert_eq!(get.atomics[0].kind, AtomicKind::Load);
+        assert_eq!(get.atomics[0].ordering, "Acquire");
+        let put = fns.iter().find(|f| f.name == "put").expect("put");
+        assert_eq!(put.atomics[0].kind, AtomicKind::Store);
+        assert_eq!(put.atomics[0].ordering, "Release");
+    }
+
+    #[test]
+    fn compare_exchange_contributes_rmw_and_load() {
+        let fns = parse(
+            "fn cas(a: &AtomicU64) { let _ = a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }\n",
+        );
+        let sites = &fns[0].atomics;
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].kind, AtomicKind::Rmw);
+        assert_eq!(sites[0].ordering, "AcqRel");
+        assert_eq!(sites[1].kind, AtomicKind::Load);
+        assert_eq!(sites[1].ordering, "Acquire");
+    }
+
+    #[test]
+    fn non_atomic_load_is_skipped() {
+        let fns = parse("fn f(r: &Reader) { r.load(buffer); }\n");
+        assert!(fns[0].atomics.is_empty());
+    }
+
+    #[test]
+    fn relaxed_ok_marker_is_detected() {
+        let fns = parse(
+            "fn f(a: &AtomicU64) {\n    // ORDERING: relaxed-ok — advisory counter.\n    a.load(Ordering::Relaxed);\n    a.store(1, Ordering::Relaxed);\n}\n",
+        );
+        assert!(fns[0].atomics[0].relaxed_ok);
+        assert!(fns[0].atomics[1].relaxed_ok, "window covers the next line");
+    }
+
+    #[test]
+    fn lock_sites_hold_spans() {
+        let src = "impl W {\n    fn go(&self) {\n        { let g = self.slices.write(); g.push(1); }\n        let r = self.slices.read();\n        r.len();\n    }\n}\n";
+        let fns = parse(src);
+        let locks = &fns[0].locks;
+        assert_eq!(locks.len(), 2, "{locks:?}");
+        let write = locks.iter().find(|l| l.method == "write").expect("write");
+        let read = locks.iter().find(|l| l.method == "read").expect("read");
+        assert_eq!(write.name, "slices");
+        assert!(write.via_self);
+        // The write guard's span ends at its inner block, before the read.
+        assert!(write.hold_end < read.offset, "{write:?} vs {read:?}");
+        // The read guard (fn-level let) is held to the end of the body.
+        assert!(read.hold_end > read.offset);
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement() {
+        let src = "impl M {\n    fn add(&self) {\n        self.shard(7).lock().add(7, 1.0);\n        self.other.lock().get(1);\n    }\n}\n";
+        let fns = parse(src);
+        let locks = &fns[0].locks;
+        assert_eq!(locks.len(), 2);
+        assert_eq!(locks[0].name, "shard");
+        // First temporary's span must end before the second acquisition.
+        assert!(locks[0].hold_end < locks[1].offset, "{locks:?}");
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_a_lock() {
+        let fns = parse("fn f(r: &mut File, buf: &mut [u8]) { r.read(buf); }\n");
+        assert!(fns[0].locks.is_empty());
+    }
+
+    #[test]
+    fn alloc_sites_found() {
+        let fns = parse(
+            "fn f() -> Vec<u64> {\n    let s = format!(\"x\");\n    let v = vec![0u64; 8];\n    let b = Box::new(s);\n    drop(b);\n    v.clone()\n}\n",
+        );
+        let whats: Vec<&str> = fns[0].allocs.iter().map(|a| a.what).collect();
+        assert!(whats.contains(&"format!"), "{whats:?}");
+        assert!(whats.contains(&"vec!"));
+        assert!(whats.contains(&"Box::new"));
+        assert!(whats.contains(&"clone"));
+    }
+
+    #[test]
+    fn hot_marker_binds_to_next_fn() {
+        let fns = parse(
+            "// HOT: batch ingest root — steady state must not allocate.\n#[inline]\nfn process_batch() {}\n\nfn cold() {}\n",
+        );
+        assert!(
+            fns.iter()
+                .find(|f| f.name == "process_batch")
+                .expect("pb")
+                .hot
+        );
+        assert!(!fns.iter().find(|f| f.name == "cold").expect("cold").hot);
+    }
+
+    #[test]
+    fn doc_comment_mentioning_hot_prose_is_not_a_marker() {
+        let fns = parse("/// This path is hot and HOTLY contested.\nfn f() {}\n");
+        assert!(!fns[0].hot, "HOTLY is not the HOT marker");
+        let fns = parse("/// the HOT marker must start the line.\nfn g() {}\n");
+        assert!(!fns[0].hot);
+    }
+
+    #[test]
+    fn calls_with_context() {
+        let fns = parse(
+            "impl E {\n    fn a(&self) { self.warm(1); helper(); CounterMap::new(); self.store.update(3); }\n}\nfn helper() {}\n",
+        );
+        let a = fns.iter().find(|f| f.name == "a").expect("a");
+        let find = |n: &str| a.calls.iter().find(|c| c.name == n).cloned();
+        let warm = find("warm").expect("warm");
+        assert!(warm.is_method && warm.receiver_is_self);
+        let helper = find("helper").expect("helper");
+        assert!(!helper.is_method && helper.qual.is_none());
+        let new = find("new").expect("new");
+        assert_eq!(new.qual.as_deref(), Some("CounterMap"));
+        let update = find("update").expect("update");
+        assert!(update.is_method && !update.receiver_is_self);
+    }
+
+    #[test]
+    fn test_mod_fns_are_excluded() {
+        let fns = parse(
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { let v = vec![1]; drop(v); }\n}\n",
+        );
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "lib");
+    }
+
+    #[test]
+    fn nested_fn_facts_attribute_to_innermost() {
+        let fns =
+            parse("fn outer() {\n    fn inner() { let v = vec![1]; drop(v); }\n    inner();\n}\n");
+        let outer = fns.iter().find(|f| f.name == "outer").expect("outer");
+        let inner = fns.iter().find(|f| f.name == "inner").expect("inner");
+        assert!(outer.allocs.is_empty(), "{:?}", outer.allocs);
+        assert_eq!(inner.allocs.len(), 1);
+        assert!(outer.calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn bodyless_trait_method() {
+        let fns =
+            parse("trait T {\n    fn must(&self) -> f64;\n    fn has(&self) -> f64 { 1.0 }\n}\n");
+        let must = fns.iter().find(|f| f.name == "must").expect("must");
+        assert!(must.body.is_none());
+        assert_eq!(must.impl_type.as_deref(), Some("T"));
+        let has = fns.iter().find(|f| f.name == "has").expect("has");
+        assert!(has.body.is_some());
+    }
+}

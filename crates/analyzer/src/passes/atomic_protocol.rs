@@ -1,0 +1,230 @@
+//! **atomic-protocol** — field-level pairing of atomic orderings.
+//!
+//! The ordering-audit pass checks each atomic *site* carries a
+//! justification comment; this pass checks the sites of each atomic
+//! *field* agree with each other:
+//!
+//! * a field with a `Release`/`AcqRel`/`SeqCst` **store side** must have
+//!   an `Acquire`-or-stronger **load side** somewhere in the same scope
+//!   (a release with no acquire publishes to nobody — the fence is
+//!   either dead weight or the reader is missing its half);
+//! * symmetrically, an `Acquire`-or-stronger load whose field is only
+//!   ever written `Relaxed` acquired nothing (checked only when the
+//!   scope writes the field at all — a load-only scope may pair with a
+//!   writer outside library code);
+//! * a field used **only** with `Relaxed` must carry at least one
+//!   `// ORDERING: relaxed-ok …` justification — this mechanizes the
+//!   "all orderings here are deliberately Relaxed" invariant the crate
+//!   docs currently state in prose.
+//!
+//! Scope is the enclosing `impl` subject for `self.field` sites and the
+//! file for free-standing receivers, so two structs with a field of the
+//! same name are never conflated.
+
+use crate::callgraph::Workspace;
+use crate::parser::{AtomicKind, AtomicSite};
+use crate::{Finding, SourceFile};
+use std::collections::BTreeMap;
+
+/// Pass name as it appears in findings and `--pass` selection.
+pub const NAME: &str = "atomic-protocol";
+
+/// Orderings that carry an acquire half on a load.
+fn acquires(ordering: &str) -> bool {
+    matches!(ordering, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+/// Orderings that carry a release half on a store/RMW.
+fn releases(ordering: &str) -> bool {
+    matches!(ordering, "Release" | "AcqRel" | "SeqCst")
+}
+
+/// Runs the pass over the parsed workspace.
+#[must_use]
+pub fn check(ws: &Workspace, sources: &[SourceFile]) -> Vec<Finding> {
+    // (scope, field) -> sites; BTreeMap for deterministic output order.
+    let mut groups: BTreeMap<(String, String), Vec<&AtomicSite>> = BTreeMap::new();
+    for f in &ws.fns {
+        let file = &sources[f.file].rel_path;
+        for site in &f.atomics {
+            let scope = if site.via_self {
+                f.impl_type.clone().unwrap_or_else(|| file.clone())
+            } else {
+                file.clone()
+            };
+            groups
+                .entry((scope, site.field.clone()))
+                .or_default()
+                .push(site);
+        }
+    }
+
+    let mut out = Vec::new();
+    for ((scope, field), sites) in &groups {
+        let file_of = |s: &AtomicSite| site_file(ws, sources, s, field).to_string();
+
+        let release_store = sites
+            .iter()
+            .find(|s| s.kind != AtomicKind::Load && releases(&s.ordering));
+        let acquire_load = sites
+            .iter()
+            .find(|s| s.kind != AtomicKind::Store && acquires(&s.ordering));
+        let any_write = sites.iter().any(|s| s.kind != AtomicKind::Load);
+
+        if let Some(store) = release_store {
+            if acquire_load.is_none() {
+                out.push(Finding {
+                    pass: NAME,
+                    file: file_of(store),
+                    line: store.line,
+                    message: format!(
+                        "`{scope}::{field}`: {}-side store has no Acquire-or-stronger \
+                         load anywhere in scope — the release publishes to nobody",
+                        store.ordering
+                    ),
+                });
+            }
+        } else if let Some(load) = acquire_load {
+            // No release-side store; flag the acquire only when this
+            // scope demonstrably writes the field (otherwise the writer
+            // may live outside library code).
+            if any_write {
+                out.push(Finding {
+                    pass: NAME,
+                    file: file_of(load),
+                    line: load.line,
+                    message: format!(
+                        "`{scope}::{field}`: {}-side load but every store in scope is \
+                         Relaxed — the acquire synchronizes with nothing",
+                        load.ordering
+                    ),
+                });
+            }
+        } else if sites.iter().all(|s| s.ordering == "Relaxed")
+            && !sites.iter().any(|s| s.relaxed_ok)
+        {
+            let first = sites[0];
+            out.push(Finding {
+                pass: NAME,
+                file: file_of(first),
+                line: first.line,
+                message: format!(
+                    "`{scope}::{field}` is Relaxed-only but no site carries an \
+                     `// ORDERING: relaxed-ok` justification — state why no \
+                     synchronization is needed"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Best-effort file attribution for a site (sites do not carry their file;
+/// recover it from the owning function).
+fn site_file<'a>(
+    ws: &Workspace,
+    sources: &'a [SourceFile],
+    site: &AtomicSite,
+    field: &str,
+) -> &'a str {
+    ws.fns
+        .iter()
+        .find(|f| {
+            f.atomics
+                .iter()
+                .any(|s| s.line == site.line && s.field == field)
+        })
+        .map_or("", |f| sources[f.file].rel_path.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+    use crate::lexer::lex;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let src = SourceFile {
+            rel_path: "crates/x/src/lib.rs".to_string(),
+            category: classify("crates/x/src/lib.rs"),
+            lexed: lex(text),
+            lines: text.lines().map(str::to_string).collect(),
+        };
+        let sources = vec![src];
+        let ws = Workspace::build(&sources);
+        check(&ws, &sources)
+    }
+
+    #[test]
+    fn release_without_acquire_fires() {
+        let out = run(
+            "impl S {\n    fn publish(&self) { self.head.store(1, Ordering::Release); }\n    fn peek(&self) -> u64 { self.head.load(Ordering::Relaxed) }\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("publishes to nobody"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn paired_release_acquire_is_clean() {
+        let out = run(
+            "impl S {\n    fn publish(&self) { self.head.store(1, Ordering::Release); }\n    fn take(&self) -> u64 { self.head.load(Ordering::Acquire) }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn acquire_with_only_relaxed_stores_fires() {
+        let out = run(
+            "impl S {\n    fn bump(&self) { self.n.store(1, Ordering::Relaxed); }\n    fn read(&self) -> u64 { self.n.load(Ordering::Acquire) }\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("synchronizes with nothing"));
+    }
+
+    #[test]
+    fn load_only_acquire_scope_is_tolerated() {
+        let out =
+            run("impl S {\n    fn read(&self) -> u64 { self.n.load(Ordering::Acquire) }\n}\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn relaxed_only_without_marker_fires() {
+        let out = run(
+            "impl S {\n    fn bump(&self) { self.n.fetch_add(1, Ordering::Relaxed); }\n    fn read(&self) -> u64 { self.n.load(Ordering::Relaxed) }\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("relaxed-ok"));
+    }
+
+    #[test]
+    fn relaxed_only_with_marker_is_clean() {
+        let out = run(
+            "impl S {\n    fn bump(&self) {\n        // ORDERING: relaxed-ok — monotone counter, readers tolerate lag.\n        self.n.fetch_add(1, Ordering::Relaxed);\n    }\n    fn read(&self) -> u64 { self.n.load(Ordering::Relaxed) }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn same_field_name_in_two_impls_is_not_conflated() {
+        // A::n has the marker; B::n does not — only B fires.
+        let out = run(
+            "impl A {\n    fn f(&self) {\n        // ORDERING: relaxed-ok — advisory.\n        self.n.load(Ordering::Relaxed);\n    }\n}\nimpl B {\n    fn g(&self) { self.n.load(Ordering::Relaxed); }\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`B::n`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn cas_failure_ordering_counts_as_load() {
+        // Release store paired by the Acquire failure ordering of a CAS.
+        let out = run(
+            "impl S {\n    fn pub_(&self) { self.h.store(1, Ordering::Release); }\n    fn cas(&self) { let _ = self.h.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

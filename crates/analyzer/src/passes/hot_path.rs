@@ -1,0 +1,138 @@
+//! **hot-path-hygiene** — no steady-state allocation downstream of
+//! `// HOT` roots.
+//!
+//! PR 8's ingest numbers (74M edges/s through `process_batch`) can be
+//! quietly regressed by one stray `format!` or `.clone()` in the phased
+//! loop — the compiler will not object, the benchmark just gets slower.
+//! This pass mechanizes the budget: a function annotated with a
+//! `// HOT` comment (within 3 lines above the `fn`, attributes in
+//! between allowed) is a hot-path root, and every library function
+//! reachable from a root through the broad call graph (see
+//! [`Workspace::resolve_broad`]) must not contain allocation-shaped
+//! expressions — `vec!`, `format!`, `Box::new`/`Arc::new`/`Rc::new`,
+//! `String`/`Vec`/`VecDeque` constructors, `.clone()`, `.to_string()`,
+//! `.to_owned()`, `.to_vec()`, `.collect()`.
+//!
+//! Deliberate allocations (setup buffers sized once per run, amortized
+//! container growth) are escaped per site through `analyzer-allow.toml`
+//! entries with `pass = "hot-path-hygiene"` — each with a reason, and
+//! reported stale when the site disappears.
+//!
+//! Amortized `.push(…)`/`.extend(…)` onto pre-reserved containers is
+//! *not* flagged: reserve-then-fill is the idiom the batch path is built
+//! on, and flagging it would make the allowlist the rule instead of the
+//! exception.
+
+use crate::callgraph::Workspace;
+use crate::{Finding, SourceFile};
+
+/// Pass name as it appears in findings and `--pass` selection.
+pub const NAME: &str = "hot-path-hygiene";
+
+/// Runs the pass over the parsed workspace.
+#[must_use]
+pub fn check(ws: &Workspace, sources: &[SourceFile]) -> Vec<Finding> {
+    let roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.hot)
+        .map(|(i, _)| i)
+        .collect();
+    let reachable = ws.reachable_broad(&roots);
+
+    let mut out = Vec::new();
+    for (&idx, &root) in &reachable {
+        let f = &ws.fns[idx];
+        let file = &sources[f.file].rel_path;
+        let via = if root == idx {
+            String::new()
+        } else {
+            format!(", reachable from hot root `{}`", ws.fns[root].qualified())
+        };
+        for site in &f.allocs {
+            out.push(Finding {
+                pass: NAME,
+                file: file.clone(),
+                line: site.line,
+                message: format!(
+                    "`{}` allocates on the hot path (`{}` in `{}`{via}) — hoist it \
+                     out of the steady state or argue it in analyzer-allow.toml",
+                    site.what,
+                    site.what,
+                    f.qualified()
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+    use crate::lexer::lex;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let src = SourceFile {
+            rel_path: "crates/x/src/lib.rs".to_string(),
+            category: classify("crates/x/src/lib.rs"),
+            lexed: lex(text),
+            lines: text.lines().map(str::to_string).collect(),
+        };
+        let sources = vec![src];
+        let ws = Workspace::build(&sources);
+        check(&ws, &sources)
+    }
+
+    #[test]
+    fn allocation_in_hot_root_fires() {
+        let out = run(
+            "// HOT: batch ingest root.\nfn process_batch() {\n    let scratch = vec![0u64; 512];\n    drop(scratch);\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("vec!"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn allocation_reached_through_call_fires_with_provenance() {
+        let out = run(
+            "// HOT\nfn root() { helper(); }\nfn helper() { let s = String::new(); drop(s); }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("reachable from hot root `root`"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_allocation_is_ignored() {
+        let out = run("// HOT\nfn root() {}\nfn cold() { let v = vec![1]; drop(v); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn clean_hot_path_is_clean() {
+        let out =
+            run("// HOT\nfn root(buf: &mut [u64]) { for b in buf.iter_mut() { *b += 1; } }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn clone_in_hot_path_fires() {
+        let out = run("// HOT\nfn root(v: &Vec<u64>) -> Vec<u64> { v.clone() }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("clone"));
+    }
+
+    #[test]
+    fn no_roots_means_no_findings() {
+        let out = run("fn anything() { let v = vec![1]; drop(v); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

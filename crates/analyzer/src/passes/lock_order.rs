@@ -1,0 +1,310 @@
+//! **lock-order** — global lock-acquisition graph, cycles are findings.
+//!
+//! Per-function lock sequences (with conservative guard hold spans from
+//! the parser: to end of enclosing block for `let`-bound guards, end of
+//! statement for temporaries) are lifted to a workspace-level directed
+//! graph:
+//!
+//! * **intra-function edge** `A → B` when `B` is acquired inside `A`'s
+//!   hold span;
+//! * **inter-procedural edge** `A → B` when, inside `A`'s hold span, the
+//!   function makes a call that strictly resolves (see
+//!   [`Workspace::resolve_strict`]) to a function whose *transitive*
+//!   acquisition set contains `B`.
+//!
+//! Any cycle — including the length-1 cycle of re-acquiring a
+//! non-reentrant lock already held — is a deadlock-potential finding.
+//! Lock identity is `Impl::field` for `self.field` guards and
+//! `file::fn::name` for locals, so unrelated locks of the same field
+//! name in different types stay distinct.
+
+use crate::callgraph::Workspace;
+use crate::{Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pass name as it appears in findings and `--pass` selection.
+pub const NAME: &str = "lock-order";
+
+/// One directed edge with its witness location.
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: usize,
+}
+
+/// Stable identity of the lock behind a guard.
+fn lock_id(
+    ws: &Workspace,
+    sources: &[SourceFile],
+    fn_idx: usize,
+    site: &crate::parser::LockSite,
+) -> String {
+    let f = &ws.fns[fn_idx];
+    let file = &sources[f.file].rel_path;
+    if site.via_self {
+        let scope = f.impl_type.as_deref().unwrap_or(file);
+        format!("{scope}::{}", site.name)
+    } else {
+        format!("{file}::{}::{}", f.name, site.name)
+    }
+}
+
+/// Runs the pass over the parsed workspace.
+#[must_use]
+pub fn check(ws: &Workspace, sources: &[SourceFile]) -> Vec<Finding> {
+    // Transitive acquisition sets: fixpoint over strict call edges.
+    let mut acquired: Vec<BTreeSet<String>> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| f.locks.iter().map(|l| lock_id(ws, sources, i, l)).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..ws.fns.len() {
+            let calls = ws.fns[i].calls.clone();
+            for call in &calls {
+                for callee in ws.resolve_strict(i, call) {
+                    if callee == i {
+                        continue;
+                    }
+                    let add: Vec<String> = acquired[callee]
+                        .iter()
+                        .filter(|id| !acquired[i].contains(*id))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        acquired[i].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges.
+    let mut edges: Vec<Edge> = Vec::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        let file = sources[f.file].rel_path.clone();
+        for (ai, a) in f.locks.iter().enumerate() {
+            let a_id = lock_id(ws, sources, i, a);
+            // Locks acquired while `a` is held.
+            for (bi, b) in f.locks.iter().enumerate() {
+                if ai != bi && a.offset < b.offset && b.offset < a.hold_end {
+                    edges.push(Edge {
+                        from: a_id.clone(),
+                        to: lock_id(ws, sources, i, b),
+                        file: file.clone(),
+                        line: b.line,
+                    });
+                }
+            }
+            // Calls made while `a` is held, pulling in callee acquisitions.
+            for call in &f.calls {
+                if call.offset <= a.offset || call.offset >= a.hold_end {
+                    continue;
+                }
+                for callee in ws.resolve_strict(i, call) {
+                    for to in &acquired[callee] {
+                        edges.push(Edge {
+                            from: a_id.clone(),
+                            to: to.clone(),
+                            file: file.clone(),
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    findings_from_edges(&edges)
+}
+
+/// Cycle detection over the edge list; one finding per distinct cycle
+/// node-set, anchored at the lexicographically first witness edge.
+fn findings_from_edges(edges: &[Edge]) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let witness = |from: &str, to: &str| -> Option<(&str, usize)> {
+        edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .map(|e| (e.file.as_str(), e.line))
+    };
+
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+
+    // Self-loops: immediate double acquisition.
+    for (node, nexts) in &adj {
+        if nexts.contains(node) {
+            let (file, line) = witness(node, node).unwrap_or(("", 0));
+            out.push(Finding {
+                pass: NAME,
+                file: file.to_string(),
+                line,
+                message: format!(
+                    "lock `{node}` is acquired while already held — parking_lot \
+                     locks are not reentrant; this deadlocks"
+                ),
+            });
+            reported.insert([node.to_string()].into_iter().collect());
+        }
+    }
+
+    // Longer cycles: for each node, DFS looking for a path back to it.
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack = vec![start];
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        let mut path: Vec<&str> = Vec::new();
+        if let Some(cycle) = dfs_cycle(start, start, &adj, &mut visited, &mut path, &mut stack) {
+            let set: BTreeSet<String> = cycle.iter().map(|s| (*s).to_string()).collect();
+            if set.len() < 2 || reported.contains(&set) {
+                continue;
+            }
+            reported.insert(set);
+            let (file, line) = witness(cycle[0], cycle[1]).unwrap_or(("", 0));
+            out.push(Finding {
+                pass: NAME,
+                file: file.to_string(),
+                line,
+                message: format!(
+                    "lock-order cycle: {} — concurrent callers taking these locks \
+                     in different orders can deadlock",
+                    cycle.join(" -> ")
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    out.dedup_by(|a, b| a.message == b.message);
+    out
+}
+
+/// DFS from `at` looking for an edge path back to `start`; returns the
+/// cycle's node sequence (starting at `start`, length ≥ 2) when found.
+fn dfs_cycle<'a>(
+    start: &'a str,
+    at: &'a str,
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    visited: &mut BTreeSet<&'a str>,
+    path: &mut Vec<&'a str>,
+    _stack: &mut Vec<&'a str>,
+) -> Option<Vec<&'a str>> {
+    path.push(at);
+    if let Some(nexts) = adj.get(at) {
+        for &next in nexts {
+            if next == start && path.len() >= 2 {
+                return Some(path.clone());
+            }
+            if visited.insert(next) {
+                if let Some(c) = dfs_cycle(start, next, adj, visited, path, _stack) {
+                    return Some(c);
+                }
+            }
+        }
+    }
+    path.pop();
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+    use crate::lexer::lex;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let src = SourceFile {
+            rel_path: "crates/x/src/lib.rs".to_string(),
+            category: classify("crates/x/src/lib.rs"),
+            lexed: lex(text),
+            lines: text.lines().map(str::to_string).collect(),
+        };
+        let sources = vec![src];
+        let ws = Workspace::build(&sources);
+        check(&ws, &sources)
+    }
+
+    #[test]
+    fn opposite_orders_in_one_impl_is_a_cycle() {
+        let out = run(
+            "impl S {\n    fn ab(&self) {\n        let a = self.a.lock();\n        let b = self.b.lock();\n        drop(b); drop(a);\n    }\n    fn ba(&self) {\n        let b = self.b.lock();\n        let a = self.a.lock();\n        drop(a); drop(b);\n    }\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("lock-order cycle"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let out = run(
+            "impl S {\n    fn ab(&self) {\n        let a = self.a.lock();\n        let b = self.b.lock();\n        drop(b); drop(a);\n    }\n    fn ab2(&self) {\n        let a = self.a.lock();\n        let b = self.b.lock();\n        drop(b); drop(a);\n    }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn cycle_through_intermediate_call_is_found() {
+        let out = run(
+            "impl S {\n    fn outer(&self) {\n        let a = self.a.lock();\n        self.helper();\n        drop(a);\n    }\n    fn helper(&self) {\n        let b = self.b.lock();\n        drop(b);\n    }\n    fn other(&self) {\n        let b = self.b.lock();\n        let a = self.a.lock();\n        drop(a); drop(b);\n    }\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn reacquire_while_held_is_a_self_loop() {
+        let out = run(
+            "impl S {\n    fn bad(&self) {\n        let a = self.m.lock();\n        let b = self.m.lock();\n        drop(b); drop(a);\n    }\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("already held"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn write_then_read_in_disjoint_blocks_is_clean() {
+        // The window.rs shape: a block-scoped write guard released before
+        // a fn-level read guard is taken. No overlap, no finding.
+        let out = run(
+            "impl W {\n    fn ingest(&self) {\n        {\n            let mut w = self.slices.write();\n            w.push(1);\n        }\n        let r = self.slices.read();\n        r.len();\n    }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn temporary_guards_in_sequence_are_clean() {
+        // sharded.rs shape: `self.shard(k).lock().add(…)` temporaries in
+        // a row never overlap.
+        let out = run(
+            "impl M {\n    fn add(&self) {\n        self.shards.lock().add(1);\n        self.shards.lock().add(2);\n    }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn distinct_types_same_field_name_not_conflated() {
+        let out = run(
+            "impl A {\n    fn f(&self) {\n        let g = self.m.lock();\n        let h = self.n.lock();\n        drop(h); drop(g);\n    }\n}\nimpl B {\n    fn g(&self) {\n        let h = self.n.lock();\n        let g = self.m.lock();\n        drop(g); drop(h);\n    }\n}\n",
+        );
+        assert!(
+            out.is_empty(),
+            "A::{{m,n}} and B::{{n,m}} are different locks: {out:?}"
+        );
+    }
+}

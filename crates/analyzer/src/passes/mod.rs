@@ -4,6 +4,9 @@
 //! code view of [`crate::lexer`], so nothing inside a string literal or a
 //! comment can ever trigger (or hide) a finding.
 
+pub mod atomic_protocol;
+pub mod hot_path;
+pub mod lock_order;
 pub mod locks;
 pub mod ordering;
 pub mod serde_sync;

@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn justified_ordering_passes() {
         let f = file(
-            "// ORDERING: Relaxed — monotone counter, read at quiescence only.\nlet v = a.load(Ordering::Relaxed);\n",
+            "// ORDERING: relaxed-ok — monotone counter, read at quiescence only.\nlet v = a.load(Ordering::Relaxed);\n",
         );
         assert!(check(&f).is_empty());
     }

@@ -1,19 +1,28 @@
 //! Rendering findings — human `file:line: [pass] message` lines and a
-//! hand-rolled JSON array (the workspace builds offline; no serde here,
-//! and depending on the crate under audit would be circular anyway).
+//! hand-rolled JSON document (the workspace builds offline; no serde
+//! here, and depending on the crate under audit would be circular
+//! anyway). Both renderings carry the per-pass findings/timing summary
+//! CI prints and archives.
 
-use crate::Finding;
+use crate::{Finding, PassTiming};
 use std::fmt::Write as _;
 
 /// Renders findings as human-readable diagnostics, one per line, sorted
-/// by file then line, followed by a summary line.
+/// by file then line, followed by a per-pass summary and a totals line.
 #[must_use]
-pub fn human(findings: &[Finding], files_scanned: usize) -> String {
+pub fn human(findings: &[Finding], files_scanned: usize, timings: &[PassTiming]) -> String {
     let mut sorted: Vec<&Finding> = findings.iter().collect();
     sorted.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
     let mut out = String::new();
     for f in &sorted {
         let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.pass, f.message);
+    }
+    for t in timings {
+        let _ = writeln!(
+            out,
+            "analyzer: pass {:<17} {} finding(s) in {}µs",
+            t.pass, t.findings, t.micros
+        );
     }
     if findings.is_empty() {
         let _ = writeln!(out, "analyzer: {files_scanned} files scanned, no findings");
@@ -28,13 +37,27 @@ pub fn human(findings: &[Finding], files_scanned: usize) -> String {
 }
 
 /// Renders findings as a JSON document:
-/// `{"files_scanned": N, "findings": [{"pass", "file", "line", "message"}]}`.
+/// `{"files_scanned": N, "passes": [{"pass", "findings", "micros"}],
+/// "findings": [{"pass", "file", "line", "message"}]}`.
 #[must_use]
-pub fn json(findings: &[Finding], files_scanned: usize) -> String {
+pub fn json(findings: &[Finding], files_scanned: usize, timings: &[PassTiming]) -> String {
     let mut sorted: Vec<&Finding> = findings.iter().collect();
     sorted.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
     let mut out = String::new();
-    let _ = write!(out, "{{\"files_scanned\":{files_scanned},\"findings\":[");
+    let _ = write!(out, "{{\"files_scanned\":{files_scanned},\"passes\":[");
+    for (i, t) in timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"pass\":{},\"findings\":{},\"micros\":{}}}",
+            escape(t.pass),
+            t.findings,
+            t.micros
+        );
+    }
+    let _ = write!(out, "],\"findings\":[");
     for (i, f) in sorted.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -86,29 +109,58 @@ mod tests {
         }
     }
 
+    fn timing() -> PassTiming {
+        PassTiming {
+            pass: "ordering-audit",
+            findings: 1,
+            micros: 120,
+        }
+    }
+
     #[test]
     fn human_format_is_file_line_pass() {
-        let out = human(&[finding()], 3);
+        let out = human(&[finding()], 3, &[]);
         assert!(out.starts_with("crates/x/src/lib.rs:7: [ordering-audit] "));
         assert!(out.contains("3 files scanned, 1 finding(s)"));
     }
 
     #[test]
+    fn human_per_pass_summary() {
+        let out = human(&[finding()], 3, &[timing()]);
+        assert!(out.contains("analyzer: pass ordering-audit"), "{out}");
+        assert!(out.contains("1 finding(s) in 120µs"), "{out}");
+    }
+
+    #[test]
     fn clean_run_summary() {
-        let out = human(&[], 42);
+        let out = human(&[], 42, &[]);
         assert_eq!(out, "analyzer: 42 files scanned, no findings\n");
     }
 
     #[test]
     fn json_escapes_quotes() {
-        let out = json(&[finding()], 3);
+        let out = json(&[finding()], 3, &[]);
         assert!(out.contains("\\\"ORDERING:\\\""));
         assert!(out.starts_with("{\"files_scanned\":3,"));
         assert!(out.trim_end().ends_with("]}"));
     }
 
     #[test]
+    fn json_carries_pass_summary() {
+        let out = json(&[], 5, &[timing()]);
+        assert!(
+            out.contains(
+                "\"passes\":[{\"pass\":\"ordering-audit\",\"findings\":1,\"micros\":120}]"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
     fn json_empty_findings() {
-        assert_eq!(json(&[], 5), "{\"files_scanned\":5,\"findings\":[]}\n");
+        assert_eq!(
+            json(&[], 5, &[]),
+            "{\"files_scanned\":5,\"passes\":[],\"findings\":[]}\n"
+        );
     }
 }

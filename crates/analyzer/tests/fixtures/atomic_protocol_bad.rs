@@ -1,0 +1,32 @@
+//! atomic-protocol fixture: two violations.
+//!
+//! * `Publisher::head` does a `Release` store but no function ever loads
+//!   it with `Acquire` or stronger — the release publishes to nobody.
+//! * `Counter::hits` is touched with `Relaxed` only and no site carries
+//!   an `// ORDERING: relaxed-ok` justification.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Publisher {
+    head: AtomicUsize,
+}
+
+impl Publisher {
+    pub fn publish(&self, v: usize) {
+        self.head.store(v, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> usize {
+        self.head.load(Ordering::Relaxed)
+    }
+}
+
+pub struct Counter {
+    hits: AtomicU64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

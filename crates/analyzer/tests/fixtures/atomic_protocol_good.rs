@@ -1,0 +1,34 @@
+//! atomic-protocol fixture, clean: the Release store pairs with an
+//! Acquire load on the same field, and the Relaxed-only counter carries
+//! a `relaxed-ok` justification.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Publisher {
+    head: AtomicUsize,
+}
+
+impl Publisher {
+    pub fn publish(&self, v: usize) {
+        // ORDERING: Release — pairs with the Acquire load in read(); makes
+        // everything written before publish() visible to the reader.
+        self.head.store(v, Ordering::Release);
+    }
+
+    pub fn read(&self) -> usize {
+        // ORDERING: Acquire — pairs with the Release store in publish().
+        self.head.load(Ordering::Acquire)
+    }
+}
+
+pub struct Counter {
+    hits: AtomicU64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        // ORDERING: relaxed-ok — monotonic statistics counter; nothing is
+        // published through it and readers tolerate stale values.
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

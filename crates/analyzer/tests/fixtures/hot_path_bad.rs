@@ -1,0 +1,19 @@
+//! hot-path-hygiene fixture: the allocation is one call away from the
+//! annotated root — `process` is clean itself, but `record` builds a
+//! `format!` string per edge.
+
+pub struct Sink {
+    keys: Vec<String>,
+}
+
+impl Sink {
+    // HOT: steady-state fixture root.
+    pub fn process(&mut self, user: u64, item: u64) {
+        self.record(user, item);
+    }
+
+    fn record(&mut self, user: u64, item: u64) {
+        let key = format!("{user}:{item}");
+        self.keys.push(key);
+    }
+}

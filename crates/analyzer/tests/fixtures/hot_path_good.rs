@@ -1,0 +1,25 @@
+//! hot-path-hygiene fixture, clean: the hot chain only does arithmetic;
+//! the constructor allocates, but it is not reachable from the root.
+
+pub struct Sink {
+    scratch: Vec<u64>,
+    acc: u64,
+}
+
+impl Sink {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            scratch: Vec::with_capacity(cap),
+            acc: 0,
+        }
+    }
+
+    // HOT: steady-state fixture root.
+    pub fn process(&mut self, user: u64, item: u64) {
+        self.mix(user ^ item);
+    }
+
+    fn mix(&mut self, v: u64) {
+        self.acc ^= v.rotate_left(17);
+    }
+}

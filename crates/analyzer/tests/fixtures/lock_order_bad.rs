@@ -1,0 +1,29 @@
+//! lock-order fixture: a deadlock-potential cycle that only appears
+//! interprocedurally. `forward()` holds `a` while calling `bump_b()`,
+//! which acquires `b` (edge a → b); `backward()` acquires them in the
+//! opposite order directly (edge b → a).
+
+pub struct Pair {
+    a: parking_lot::Mutex<u32>,
+    b: parking_lot::Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let mut a = self.a.lock();
+        *a += 1;
+        self.bump_b();
+    }
+
+    fn bump_b(&self) {
+        let mut b = self.b.lock();
+        *b += 1;
+    }
+
+    pub fn backward(&self) {
+        let b = self.b.lock();
+        let a = self.a.lock();
+        drop(a);
+        drop(b);
+    }
+}

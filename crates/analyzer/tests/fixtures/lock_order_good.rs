@@ -1,0 +1,27 @@
+//! lock-order fixture, clean: every path — direct or through the helper —
+//! acquires `a` before `b`, so the global acquisition graph is acyclic.
+
+pub struct Pair {
+    a: parking_lot::Mutex<u32>,
+    b: parking_lot::Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let mut a = self.a.lock();
+        *a += 1;
+        self.bump_b();
+    }
+
+    fn bump_b(&self) {
+        let mut b = self.b.lock();
+        *b += 1;
+    }
+
+    pub fn also_forward(&self) {
+        let a = self.a.lock();
+        let b = self.b.lock();
+        drop(b);
+        drop(a);
+    }
+}

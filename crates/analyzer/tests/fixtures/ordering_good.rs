@@ -2,7 +2,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub fn bump(counter: &AtomicU64) -> u64 {
-    // ORDERING: Relaxed — advisory monotone counter, exact only at
+    // ORDERING: relaxed-ok — advisory monotone counter, exact only at
     // quiescence where thread join provides the happens-before edge.
     counter.fetch_add(1, Ordering::Relaxed)
 }
@@ -12,7 +12,7 @@ pub fn publish(flag: &AtomicU64) {
 }
 
 pub fn cas(slot: &AtomicU64) {
-    // ORDERING: Relaxed/Relaxed — retry loop carries no payload; the RMW
+    // ORDERING: relaxed-ok (Relaxed/Relaxed) — retry loop carries no payload; the RMW
     // total order alone picks the winner.
     let _ = slot.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
 }

@@ -51,7 +51,7 @@ impl AtomicBitArray {
     /// Current zero-bit count. Exact when no writes are in flight.
     #[must_use]
     pub fn zeros(&self) -> usize {
-        // ORDERING: Relaxed — advisory monotone counter; callers that need
+        // ORDERING: relaxed-ok — advisory monotone counter; callers that need
         // an exact value read at quiescence, where thread-join already
         // provides the happens-before edge.
         self.zeros.load(Ordering::Relaxed)
@@ -65,7 +65,7 @@ impl AtomicBitArray {
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        // ORDERING: Relaxed — a set bit carries no payload to synchronize
+        // ORDERING: relaxed-ok — a set bit carries no payload to synchronize
         // with: observing it early or late only shifts *when* an estimate
         // updates, never its correctness (monotone 0→1 writes).
         (self.words[i >> 6].load(Ordering::Relaxed) >> (i & 63)) & 1 == 1
@@ -80,13 +80,13 @@ impl AtomicBitArray {
     pub fn set(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let mask = 1u64 << (i & 63);
-        // ORDERING: Relaxed — the per-word RMW total order alone picks a
+        // ORDERING: relaxed-ok — the per-word RMW total order alone picks a
         // unique winner for each bit; no other memory is published, so no
         // release edge is needed.
         let prev = self.words[i >> 6].fetch_or(mask, Ordering::Relaxed);
         let fresh = prev & mask == 0;
         if fresh {
-            // ORDERING: Relaxed — counter decrement rides the same RMW
+            // ORDERING: relaxed-ok — counter decrement rides the same RMW
             // total order; readers treat it as advisory (see zeros()).
             self.zeros.fetch_sub(1, Ordering::Relaxed);
         }
@@ -105,7 +105,7 @@ impl AtomicBitArray {
     #[must_use]
     pub fn warm(&self, i: usize) -> u64 {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        // ORDERING: Relaxed — the value is discarded (cache-warming only);
+        // ORDERING: relaxed-ok — the value is discarded (cache-warming only);
         // any ordering stronger than Relaxed would just slow the prefetch.
         self.words[i >> 6].load(Ordering::Relaxed)
     }
@@ -116,7 +116,7 @@ impl AtomicBitArray {
         let ones: u32 = self
             .words
             .iter()
-            // ORDERING: Relaxed — documented quiescent-only API; the caller's
+            // ORDERING: relaxed-ok — documented quiescent-only API; the caller's
             // thread join supplies the happens-before edge for exactness.
             .map(|w| w.load(Ordering::Relaxed).count_ones())
             .sum();
@@ -145,7 +145,7 @@ impl AtomicBitArray {
         assert_eq!(self.len, other.len, "union requires equal lengths");
         let mut flipped = 0usize;
         for (a, b) in self.words.iter().zip(&other.words) {
-            // ORDERING: Relaxed — monotone bits carry no payload; the
+            // ORDERING: relaxed-ok — monotone bits carry no payload; the
             // fetch_or RMW total order alone decides which bits this call
             // freshly sets (see set()).
             let bits = b.load(Ordering::Relaxed);
@@ -155,7 +155,7 @@ impl AtomicBitArray {
             }
         }
         if flipped > 0 {
-            // ORDERING: Relaxed — advisory counter, same as set().
+            // ORDERING: relaxed-ok — advisory counter, same as set().
             self.zeros.fetch_sub(flipped, Ordering::Relaxed);
         }
     }
@@ -165,7 +165,7 @@ impl AtomicBitArray {
     pub fn snapshot(&self) -> crate::BitArray {
         let mut b = crate::BitArray::new(self.len);
         for (wi, w) in self.words.iter().enumerate() {
-            // ORDERING: Relaxed — snapshot of monotone bits; taken at
+            // ORDERING: relaxed-ok — snapshot of monotone bits; taken at
             // quiescence for exactness, and any interleaved view is still a
             // valid (slightly stale) sketch state.
             let mut bits = w.load(Ordering::Relaxed);

@@ -83,7 +83,7 @@ impl AtomicPackedArray {
     pub fn warm(&self, i: usize) -> u64 {
         assert!(i < self.len, "register index {i} out of range {}", self.len);
         let (word, _) = self.locate(i);
-        // ORDERING: Relaxed — the value is discarded (cache-warming only);
+        // ORDERING: relaxed-ok — the value is discarded (cache-warming only);
         // any ordering stronger than Relaxed would just slow the prefetch.
         self.words[word].load(Ordering::Relaxed)
     }
@@ -98,7 +98,7 @@ impl AtomicPackedArray {
         assert!(i < self.len, "register index {i} out of range {}", self.len);
         let (word, off) = self.locate(i);
         let mask = (1u64 << self.width) - 1;
-        // ORDERING: Relaxed — registers only grow (max-merge), and a stale
+        // ORDERING: relaxed-ok — registers only grow (max-merge), and a stale
         // read merely under-reports momentarily; no payload is guarded.
         ((self.words[word].load(Ordering::Relaxed) >> off) & mask) as u16
     }
@@ -120,7 +120,7 @@ impl AtomicPackedArray {
         let (word, off) = self.locate(i);
         let mask = (1u64 << self.width) - 1;
         let slot = &self.words[word];
-        // ORDERING: Relaxed — optimistic first read; the CAS below revalidates
+        // ORDERING: relaxed-ok — optimistic first read; the CAS below revalidates
         // it, so a stale value costs one retry, never correctness.
         let mut current = slot.load(Ordering::Relaxed);
         loop {
@@ -129,7 +129,7 @@ impl AtomicPackedArray {
                 return None;
             }
             let updated = (current & !(mask << off)) | (u64::from(value) << off);
-            // ORDERING: Relaxed/Relaxed — the CAS retry loop carries no
+            // ORDERING: relaxed-ok (Relaxed/Relaxed) — the CAS retry loop carries no
             // payload; the per-word RMW total order alone guarantees one
             // winner per growth, and failure just reloads and retries.
             match slot.compare_exchange_weak(current, updated, Ordering::Relaxed, Ordering::Relaxed)

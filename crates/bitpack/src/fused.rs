@@ -413,7 +413,7 @@ impl AtomicFusedBitArray {
     /// [`ConcurrentSlotStore::update_block`]).
     #[must_use]
     pub fn zeros(&self) -> usize {
-        // ORDERING: Relaxed — advisory monotone counter; callers that need
+        // ORDERING: relaxed-ok — advisory monotone counter; callers that need
         // an exact value read at quiescence, where thread-join already
         // provides the happens-before edge.
         self.zeros.load(Ordering::Relaxed)
@@ -428,7 +428,7 @@ impl AtomicFusedBitArray {
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let (w, b) = locate_bit(i);
-        // ORDERING: Relaxed — a set bit carries no payload to synchronize
+        // ORDERING: relaxed-ok — a set bit carries no payload to synchronize
         // with: observing it early or late only shifts *when* an estimate
         // updates, never its correctness (monotone 0→1 writes).
         (self.words[w].load(Ordering::Relaxed) >> b) & 1 == 1
@@ -444,7 +444,7 @@ impl AtomicFusedBitArray {
     pub fn set(&self, i: usize) -> bool {
         let fresh = self.set_in_line(i);
         if fresh {
-            // ORDERING: Relaxed — counter decrement rides the same RMW
+            // ORDERING: relaxed-ok — counter decrement rides the same RMW
             // total order; readers treat it as advisory (see zeros()).
             self.zeros.fetch_sub(1, Ordering::Relaxed);
         }
@@ -463,13 +463,13 @@ impl AtomicFusedBitArray {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let (w, b) = locate_bit(i);
         let mask = 1u64 << b;
-        // ORDERING: Relaxed — the per-word RMW total order alone picks a
+        // ORDERING: relaxed-ok — the per-word RMW total order alone picks a
         // unique winner for each bit; no other memory is published, so no
         // release edge is needed.
         let prev = self.words[w].fetch_or(mask, Ordering::Relaxed);
         let fresh = prev & mask == 0;
         if fresh {
-            // ORDERING: Relaxed — the group count word lives in the cache
+            // ORDERING: relaxed-ok — the group count word lives in the cache
             // line the fetch_or above just owned, and is advisory bookkeeping
             // (validated against payload popcounts at quiescence), so the RMW
             // total order is all that is needed.
@@ -486,7 +486,7 @@ impl AtomicFusedBitArray {
     #[must_use]
     pub fn warm(&self, i: usize) -> u64 {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        // ORDERING: Relaxed — the value is discarded (cache-warming only);
+        // ORDERING: relaxed-ok — the value is discarded (cache-warming only);
         // any ordering stronger than Relaxed would just slow the prefetch.
         self.words[locate_bit(i).0].load(Ordering::Relaxed)
     }
@@ -500,7 +500,7 @@ impl AtomicFusedBitArray {
             if wi % WORDS_PER_GROUP == WORDS_PER_GROUP - 1 {
                 continue;
             }
-            // ORDERING: Relaxed — documented quiescent-only API; the caller's
+            // ORDERING: relaxed-ok — documented quiescent-only API; the caller's
             // thread join supplies the happens-before edge for exactness.
             ones += w.load(Ordering::Relaxed).count_ones() as usize;
         }
@@ -530,7 +530,7 @@ impl AtomicFusedBitArray {
             if wi % WORDS_PER_GROUP == WORDS_PER_GROUP - 1 {
                 continue;
             }
-            // ORDERING: Relaxed — monotone bits carry no payload; the
+            // ORDERING: relaxed-ok — monotone bits carry no payload; the
             // fetch_or RMW total order alone decides which bits this call
             // freshly sets (see set()).
             let bits = b.load(Ordering::Relaxed);
@@ -538,7 +538,7 @@ impl AtomicFusedBitArray {
                 let prev = a.fetch_or(bits, Ordering::Relaxed);
                 let fresh = (bits & !prev).count_ones() as usize;
                 if fresh > 0 {
-                    // ORDERING: Relaxed — advisory in-line group count, same
+                    // ORDERING: relaxed-ok — advisory in-line group count, same
                     // as set_in_line(); validated only at quiescence.
                     self.words[wi | (WORDS_PER_GROUP - 1)]
                         .fetch_add(fresh as u64, Ordering::Relaxed);
@@ -547,7 +547,7 @@ impl AtomicFusedBitArray {
             }
         }
         if flipped > 0 {
-            // ORDERING: Relaxed — advisory counter, same as set().
+            // ORDERING: relaxed-ok — advisory counter, same as set().
             self.zeros.fetch_sub(flipped, Ordering::Relaxed);
         }
     }
@@ -562,7 +562,7 @@ impl AtomicFusedBitArray {
             if in_group == WORDS_PER_GROUP - 1 {
                 continue;
             }
-            // ORDERING: Relaxed — snapshot of monotone bits; taken at
+            // ORDERING: relaxed-ok — snapshot of monotone bits; taken at
             // quiescence for exactness, and any interleaved view is still a
             // valid (slightly stale) sketch state.
             let mut bits = w.load(Ordering::Relaxed);
@@ -620,7 +620,7 @@ impl ConcurrentSlotStore for AtomicFusedBitArray {
             growths += usize::from(fresh);
         }
         if growths > 0 {
-            // ORDERING: Relaxed — one advisory-counter settlement per block
+            // ORDERING: relaxed-ok — one advisory-counter settlement per block
             // instead of one per growth; readers only need exactness at
             // quiescence (see zeros()), which thread-join provides.
             self.zeros.fetch_sub(growths, Ordering::Relaxed);

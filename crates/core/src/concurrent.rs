@@ -35,6 +35,7 @@ pub trait ConcurrentEstimator: CardinalityEstimator + Send + Sync {
     /// Observes a slice of edges — the batched fast path; callable
     /// concurrently. Same contract as
     /// [`CardinalityEstimator::process_batch`].
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn ingest_batch(&self, edges: &[(u64, u64)]) {
         for &(user, item) in edges {
             self.ingest(user, item);
@@ -119,7 +120,7 @@ impl SharedZ {
     /// CAS-add `delta` onto the f64-encoded Z.
     #[inline]
     fn add(&self, delta: f64) {
-        // ORDERING: Relaxed — optimistic first read; the CAS below
+        // ORDERING: relaxed-ok — optimistic first read; the CAS below
         // revalidates it, so staleness costs one retry, never a lost delta.
         let mut current = self.z_bits.load(Ordering::Relaxed);
         loop {
@@ -127,7 +128,7 @@ impl SharedZ {
             match self.z_bits.compare_exchange_weak(
                 current,
                 updated,
-                // ORDERING: Relaxed/Relaxed — Z is a pure accumulator: the
+                // ORDERING: relaxed-ok (Relaxed/Relaxed) — Z is a pure accumulator: the
                 // RMW total order makes every delta land exactly once, and
                 // no other memory is published through it.
                 Ordering::Relaxed,
@@ -153,7 +154,7 @@ impl<S: ConcurrentSlotStore> SharedQTracker<S> for SharedZ {
 
     #[inline]
     fn numerator(&self, _store: &S) -> f64 {
-        // ORDERING: Relaxed — anytime estimate: a slightly stale Z is still
+        // ORDERING: relaxed-ok — anytime estimate: a slightly stale Z is still
         // a valid sketch state; exact reads happen at quiescence where the
         // thread join provides the happens-before edge.
         f64::from_bits(self.z_bits.load(Ordering::Relaxed)).max(f64::MIN_POSITIVE)
@@ -174,7 +175,7 @@ impl<S: ConcurrentSlotStore> SharedQTracker<S> for SharedZ {
     }
 
     fn resync(&self, store: &S) {
-        // ORDERING: Relaxed — quiescent-only API (merge holds the only
+        // ORDERING: relaxed-ok — quiescent-only API (merge holds the only
         // reference paths that could write); the caller's synchronisation
         // provides the happens-before edge.
         self.z_bits
@@ -247,6 +248,7 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEngine<S, Q> {
 
     /// Observes edge `(user, item)`; callable concurrently.
     #[inline]
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     pub fn process(&self, user: u64, item: u64) {
         let h = self.hasher.hash_edge(user, item);
         let slot = reduce64(h, self.store.len());
@@ -349,6 +351,7 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEngine<S, Q> {
     /// the warm distance never changes results; freezing `q` per block
     /// adds at most `block/M` relative staleness — the same order as the
     /// concurrency skew already tolerated.
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     pub fn process_batch(&self, edges: &[(u64, u64)]) {
         if edges.is_empty() {
             return;
@@ -409,6 +412,7 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEngine<S, Q> {
     /// compile-time [`crate::INGEST_BLOCK`]-sized stack scratch, so the
     /// compiler sees every pass's trip count and drops all bounds checks —
     /// the same const-sized twin the scalar engine keeps.
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn process_batch_default(&self, edges: &[(u64, u64)]) {
         const BLOCK: usize = crate::INGEST_BLOCK;
         let mut hashes = [0u64; BLOCK];
@@ -520,6 +524,7 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> CardinalityEstimator for Conc
         ConcurrentEngine::process(self, user, item);
     }
 
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn process_batch(&mut self, edges: &[(u64, u64)]) {
         ConcurrentEngine::process_batch(self, edges);
     }
@@ -558,6 +563,7 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEstimator for Concu
         ConcurrentEngine::process(self, user, item);
     }
 
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn ingest_batch(&self, edges: &[(u64, u64)]) {
         ConcurrentEngine::process_batch(self, edges);
     }
@@ -637,7 +643,7 @@ impl serde::Serialize for SharedZ {
     fn serialize_value(&self) -> serde::Value {
         serde::Value::Map(vec![(
             "z_bits".to_string(),
-            // ORDERING: Relaxed — quiescent-only API (serialization runs
+            // ORDERING: relaxed-ok — quiescent-only API (serialization runs
             // with no concurrent writers); the caller's synchronisation
             // provides the happens-before edge.
             self.z_bits.load(Ordering::Relaxed).serialize_value(),

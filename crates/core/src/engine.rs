@@ -371,6 +371,7 @@ impl<S: SlotStore, Q: QTracker<S>> SketchEngine<S, Q> {
     /// mechanical sugar — both funnel into the same [`Self::warm_block`] /
     /// [`Self::apply_block`] bodies, and the warm-ahead invariance tests
     /// pin the two paths to bit-identical results.
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn process_batch_default(&mut self, edges: &[(u64, u64)]) {
         const BLOCK: usize = crate::INGEST_BLOCK;
         let mut hashes = [0u64; BLOCK];
@@ -396,6 +397,7 @@ impl<S: SlotStore, Q: QTracker<S>> SketchEngine<S, Q> {
 
 impl<S: SlotStore, Q: QTracker<S>> CardinalityEstimator for SketchEngine<S, Q> {
     #[inline]
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn process(&mut self, user: u64, item: u64) {
         let h = self.hasher.hash_edge(user, item);
         let slot = reduce64(h, self.store.len());
@@ -430,6 +432,7 @@ impl<S: SlotStore, Q: QTracker<S>> CardinalityEstimator for SketchEngine<S, Q> {
     /// stalling in front of it. The warm pass is load-only, so **any** `d`
     /// yields bit-identical stores and estimates; `d = 0` degenerates to
     /// PR 2's strict warm-then-write phasing.
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn process_batch(&mut self, edges: &[(u64, u64)]) {
         if edges.is_empty() {
             return;

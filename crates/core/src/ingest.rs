@@ -24,6 +24,7 @@ pub const DEFAULT_CHUNK: usize = 1 << 16;
 /// # Errors
 /// Stops at the first source error (I/O, corrupt binary input, malformed
 /// text line); edges of earlier chunks have already been applied.
+// HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
 pub fn stream_into(
     est: &mut dyn CardinalityEstimator,
     src: &mut dyn EdgeSource,
@@ -41,6 +42,7 @@ pub fn stream_into(
 /// # Errors
 /// Stops at the first source error or the first hook error; edges of
 /// earlier chunks have already been applied.
+// HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
 pub fn stream_into_hooked<E: From<EdgeStreamError>>(
     est: &mut dyn CardinalityEstimator,
     src: &mut dyn EdgeSource,
@@ -67,6 +69,7 @@ pub fn stream_into_hooked<E: From<EdgeStreamError>>(
 /// Feeds one in-memory slice through the chosen path, reusing the caller's
 /// pair buffer across chunks. Shared by [`stream_into`] and callers that
 /// interleave their own bookkeeping between slices (checkpointed replay).
+// HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
 pub fn ingest_slice(
     est: &mut dyn CardinalityEstimator,
     edges: &[Edge],
@@ -96,6 +99,7 @@ pub fn ingest_slice(
 ///
 /// # Errors
 /// Stops at the first source error; earlier chunks have been applied.
+// HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
 pub fn stream_into_parallel(
     est: &dyn ConcurrentEstimator,
     src: &mut dyn EdgeSource,
@@ -114,6 +118,7 @@ pub fn stream_into_parallel(
 /// # Errors
 /// Stops at the first source error or the first hook error; edges of
 /// earlier chunks have already been applied.
+// HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
 pub fn stream_into_parallel_hooked<E: From<EdgeStreamError>>(
     est: &dyn ConcurrentEstimator,
     src: &mut dyn EdgeSource,

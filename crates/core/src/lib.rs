@@ -224,6 +224,7 @@ pub trait CardinalityEstimator {
     /// `B / Z` (FreeRS, `Z = Σ 2^{-R[j]}`) — one-sided and vanishing for
     /// `M ≫ B`. Proptests in `crates/core/tests/proptests.rs` assert both
     /// properties for every implementation.
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn process_batch(&mut self, edges: &[(u64, u64)]) {
         for &(user, item) in edges {
             self.process(user, item);

@@ -99,6 +99,7 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ShardedSketch<S, Q> {
 
     /// Observes edge `(user, item)`; callable concurrently.
     #[inline]
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     pub fn process(&self, user: u64, item: u64) {
         self.shards[self.route(user, item)].process(user, item);
     }
@@ -108,6 +109,7 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ShardedSketch<S, Q> {
     /// pass (stable, so in-shard user runs survive for the engines'
     /// lock-coalescing), then each shard ingests its sub-batch through
     /// the phased block pipeline.
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     pub fn process_batch(&self, edges: &[(u64, u64)]) {
         let p = self.shards.len();
         if p == 1 || edges.is_empty() {
@@ -216,6 +218,7 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> CardinalityEstimator for Shar
         ShardedSketch::process(self, user, item);
     }
 
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn process_batch(&mut self, edges: &[(u64, u64)]) {
         ShardedSketch::process_batch(self, edges);
     }
@@ -255,6 +258,7 @@ impl<S: ConcurrentSlotStore, Q: SharedQTracker<S>> ConcurrentEstimator for Shard
         ShardedSketch::process(self, user, item);
     }
 
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     fn ingest_batch(&self, edges: &[(u64, u64)]) {
         ShardedSketch::process_batch(self, edges);
     }

@@ -99,7 +99,7 @@ impl<E> Windowed<E> {
     /// Counts this edge and reports whether it opens a new slice.
     #[inline]
     fn tick(&self) -> bool {
-        // ORDERING: Relaxed — the fetch-add's RMW total order hands each
+        // ORDERING: relaxed-ok — the fetch-add's RMW total order hands each
         // caller a unique counter value (so each boundary fires exactly
         // once); rotation itself synchronizes via the slices RwLock.
         let t = self.edges_seen.fetch_add(1, Ordering::Relaxed);
@@ -108,7 +108,7 @@ impl<E> Windowed<E> {
 
     /// Appends a fresh slice and retires the oldest once over capacity.
     fn rotate(&self, slices: &mut VecDeque<Arc<E>>) {
-        // ORDERING: Relaxed — callers hold the slices write lock, which
+        // ORDERING: relaxed-ok — callers hold the slices write lock, which
         // already orders rotations; the atomic only feeds the factory seed
         // and the advisory rotations() counter.
         let r = self.rotations.fetch_add(1, Ordering::Relaxed) + 1;
@@ -136,7 +136,7 @@ impl<E> Windowed<E> {
     /// Total slice rotations so far.
     #[must_use]
     pub fn rotations(&self) -> u64 {
-        // ORDERING: Relaxed — advisory monotone counter; exact only at
+        // ORDERING: relaxed-ok — advisory monotone counter; exact only at
         // quiescence, where thread join provides the happens-before edge.
         self.rotations.load(Ordering::Relaxed)
     }
@@ -152,6 +152,7 @@ impl<E> Windowed<E> {
 /// copy-on-write isolation of outstanding [`Windowed::snapshot`]s.
 impl<E: CardinalityEstimator + Clone> Windowed<E> {
     /// Observes one edge, rotating slices at slice boundaries.
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     pub fn process(&mut self, user: u64, item: u64) {
         if self.tick() {
             let mut slices = std::mem::take(self.slices.get_mut());
@@ -168,6 +169,7 @@ impl<E: CardinalityEstimator + Clone> Windowed<E> {
 /// from many threads through `&self`.
 impl<E: ConcurrentEstimator> Windowed<E> {
     /// Observes one edge; callable concurrently.
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     pub fn ingest(&self, user: u64, item: u64) {
         if self.tick() {
             let mut slices = self.slices.write();
@@ -183,10 +185,11 @@ impl<E: ConcurrentEstimator> Windowed<E> {
     /// Observes a slice of edges; callable concurrently. Edges are
     /// forwarded in sub-batches that respect slice boundaries, so a batch
     /// spanning a rotation splits exactly as the per-edge path would.
+    // HOT: steady-state ingest path — keep allocation-free (hot-path-hygiene root).
     pub fn ingest_batch(&self, edges: &[(u64, u64)]) {
         let mut rest = edges;
         while !rest.is_empty() {
-            // ORDERING: Relaxed — advisory peek to size the sub-batch; the
+            // ORDERING: relaxed-ok — advisory peek to size the sub-batch; the
             // fetch-add below is the authoritative claim and the boundary
             // math tolerates this value being stale.
             let t = self.edges_seen.load(Ordering::Relaxed);
@@ -195,7 +198,7 @@ impl<E: ConcurrentEstimator> Windowed<E> {
                 .len()
                 .min(usize::try_from(until_boundary).unwrap_or(rest.len()));
             let (head, tail) = rest.split_at(take);
-            // ORDERING: Relaxed — the RMW total order partitions the counter
+            // ORDERING: relaxed-ok — the RMW total order partitions the counter
             // space into disjoint `[t, t+len)` intervals across racing
             // callers; rotation synchronizes via the slices RwLock.
             let t = self

@@ -16,9 +16,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> freesketch-analyzer (ordering-audit, unsafe-gate, lock-discipline, serde-sync)"
+echo "==> freesketch-analyzer (ordering-audit, unsafe-gate, lock-discipline, serde-sync, atomic-protocol, lock-order, hot-path-hygiene)"
 # Hard gate: any finding (including stale allowlist entries) fails the build.
 ./target/release/freesketch-analyzer
+# CLI contract: pass listing, single-pass selection, unknown pass = usage error.
+./target/release/freesketch-analyzer --list-passes | grep -q '^hot-path-hygiene$' || {
+  echo "--list-passes missing hot-path-hygiene"; exit 1;
+}
+./target/release/freesketch-analyzer --pass lock-order > /dev/null
+if ./target/release/freesketch-analyzer --pass no-such-pass > /dev/null 2>&1; then
+  echo "unknown --pass should be a usage error"; exit 1
+fi
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run --workspace
