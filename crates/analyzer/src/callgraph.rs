@@ -33,9 +33,11 @@ pub const BROAD_FANOUT_CAP: usize = 8;
 /// combinators when they appear as `.name(…)` on a non-`self` receiver.
 /// Broad resolution refuses to fan these out to same-named workspace
 /// functions (strict resolution — `self.`/`Type::` — still works).
-const STD_METHOD_NAMES: [&str; 40] = [
+const STD_METHOD_NAMES: [&str; 42] = [
     "all",
     "any",
+    "parse",
+    "spawn",
     "map",
     "filter",
     "filter_map",
@@ -310,6 +312,18 @@ mod tests {
             .find(|c| c.name == "all")
             .expect("`.all(` collected");
         assert!(w.resolve_broad(f, all_call).is_empty());
+        // `.spawn(…)` on a thread scope and `.parse(…)` on a str are the
+        // same phantom-chain class: std methods whose names workspace
+        // constructors also use (`serve::spawn`, `Cli::parse`).
+        let w3 = ws(
+            "fn f(s: &S) { s.spawn(|| {}); \"1\".parse::<u64>(); }\nimpl T {\n    fn spawn() {}\n    fn parse() {}\n}\n",
+        );
+        let f3 = idx(&w3, "f");
+        for call in &w3.fns[f3].calls {
+            if call.name == "spawn" || call.name == "parse" {
+                assert!(w3.resolve_broad(f3, call).is_empty(), "{}", call.name);
+            }
+        }
         // But a non-combinator method name still fans out.
         let w2 = ws("fn f(s: &Store) { s.warm(); }\nimpl Store {\n    fn warm(&self) {}\n}\n");
         let f2 = idx(&w2, "f");

@@ -163,6 +163,15 @@ pub enum Command {
         /// Merged snapshot output path.
         out: String,
     },
+    /// `serve <edges> [--port P]` — ingest the trace concurrently while
+    /// answering the line protocol (ESTIMATE/TOPK/CONFIDENCE/STATS/
+    /// SNAPSHOT/SHUTDOWN) on a TCP socket.
+    Serve {
+        /// Path to the edge file driven by the writer threads.
+        path: String,
+        /// TCP port on 127.0.0.1 (`0` = pick an ephemeral port and print it).
+        port: u16,
+    },
 }
 
 /// Argument errors, with enough structure for exact tests.
@@ -196,7 +205,7 @@ impl std::fmt::Display for ParseError {
                 write!(
                     f,
                     "missing subcommand \
-                     (estimate|spreaders|synth|track|convert|checkpoint|restore|merge)"
+                     (estimate|spreaders|synth|track|convert|checkpoint|restore|merge|serve)"
                 )
             }
             Self::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
@@ -229,6 +238,7 @@ USAGE:
   freesketch-cli checkpoint <edges> <out.fsnp> [common flags]
   freesketch-cli restore   <snap.fsnp> [<edges>] [--top N] [common flags]
   freesketch-cli merge     <snap.fsnp>... <out.fsnp>
+  freesketch-cli serve     <edges> [--port P] [common flags]
 
 COMMON FLAGS:
   --method freebs|freers   estimator (default freebs)
@@ -255,6 +265,8 @@ COMMON FLAGS:
                            the recorded offset, and keep checkpointing
   --checkpoint-every N     edges between incremental checkpoints
                            (default 1000000)
+  --port P                 serve: TCP port on 127.0.0.1; 0 picks an
+                           ephemeral port, printed on startup (default 0)
 
 Edge files are read streaming (bounded memory) in either format,
 auto-detected: TSV — one `user item` pair per line, `#` comments
@@ -290,6 +302,7 @@ impl Cli {
         let mut checkpoints = 10usize;
         let mut checkpoint: Option<String> = None;
         let mut checkpoint_every = 1_000_000u64;
+        let mut port = 0u16;
 
         let mut i = 0usize;
         while i < args.len() {
@@ -372,6 +385,14 @@ impl Cli {
                         });
                     }
                 }
+                "--port" => {
+                    let v = value(args, &mut i, "--port")?;
+                    port = v.parse().map_err(|_| ParseError::BadValue {
+                        flag: "--port",
+                        value: v.to_string(),
+                        expected: "an integer in 0..=65535",
+                    })?;
+                }
                 flag if flag.starts_with("--") => {
                     return Err(ParseError::UnknownFlag(flag.to_string()))
                 }
@@ -439,6 +460,13 @@ impl Cli {
                     .to_string(),
                 resume: pos.next().map(str::to_string),
                 top,
+            },
+            "serve" => Command::Serve {
+                path: pos
+                    .next()
+                    .ok_or(ParseError::MissingArg("edges"))?
+                    .to_string(),
+                port,
             },
             "merge" => {
                 let mut rest: Vec<String> = pos.by_ref().map(str::to_string).collect();
@@ -812,6 +840,41 @@ mod tests {
             assert!(
                 matches!(Cli::parse(bad).unwrap_err(), ParseError::MissingArg(_)),
                 "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_subcommand_parses_with_port() {
+        let cli = Cli::parse(&["serve", "edges.tsv"]).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                path: "edges.tsv".into(),
+                port: 0
+            }
+        );
+        let cli =
+            Cli::parse(&["serve", "edges.tsv", "--port", "7070", "--threads", "4"]).expect("parse");
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                path: "edges.tsv".into(),
+                port: 7070
+            }
+        );
+        assert_eq!(cli.threads, 4);
+        assert_eq!(
+            Cli::parse(&["serve"]).unwrap_err(),
+            ParseError::MissingArg("edges")
+        );
+        for bad in ["65536", "-1", "http"] {
+            assert!(
+                matches!(
+                    Cli::parse(&["serve", "x", "--port", bad]).unwrap_err(),
+                    ParseError::BadValue { flag: "--port", .. }
+                ),
+                "--port {bad} must be rejected"
             );
         }
     }

@@ -305,8 +305,112 @@ pub fn run(cli: &Cli, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Err
                 sketch.total_estimate()
             )?;
         }
+        Command::Serve { path, port } => {
+            if cli.layout == Layout::Fused {
+                return Err("--layout fused does not support serve \
+                     (checkpoints use the split layout)"
+                    .into());
+            }
+            // Serve always runs a sharded kind — queries arrive while
+            // writers ingest, so the `&self` concurrent path is mandatory
+            // even at --threads 1 (one shard).
+            let shards = cli.threads.next_power_of_two();
+            let (sketch, base) = match &cli.checkpoint {
+                Some(snap) => match load_with_fallback(Path::new(snap.as_str()))? {
+                    Some((sketch, offset, used_fallback)) => {
+                        if sketch.as_concurrent().is_none() {
+                            return Err(format!(
+                                "checkpoint `{snap}` holds a `{}` sketch — serve needs a \
+                                 sharded kind (re-checkpoint with --threads > 1)",
+                                sketch.kind()
+                            )
+                            .into());
+                        }
+                        if used_fallback {
+                            writeln!(
+                                out,
+                                "note: `{snap}` is corrupt — restored last good checkpoint \
+                                 `{}` ({offset} edges)",
+                                fallback_path(Path::new(snap.as_str())).display()
+                            )?;
+                        } else {
+                            writeln!(
+                                out,
+                                "restored checkpoint `{snap}` ({offset} edges, {})",
+                                sketch.kind()
+                            )?;
+                        }
+                        (sketch, offset)
+                    }
+                    None => (build_serve_sketch(cli, shards), 0),
+                },
+                None => (build_serve_sketch(cli, shards), 0),
+            };
+            let mut sketch = sketch;
+            sketch.configure_ingest(tuning_of(cli));
+            let (mut src, _) = open_source(path, cli.format)?;
+            if base > 0 {
+                let skipped = skip_edges(src.as_mut(), base, cli.chunk)?;
+                if skipped < base {
+                    return Err(format!(
+                        "`{path}` holds {skipped} edges but the checkpoint records \
+                         {base} — wrong trace for this checkpoint?"
+                    )
+                    .into());
+                }
+            }
+            let config = crate::serve::ServeConfig {
+                port: *port,
+                writers: cli.threads,
+                chunk: cli.chunk,
+                batch: cli.batch,
+                base_edges: base,
+                checkpoint: cli.checkpoint.as_ref().map(std::path::PathBuf::from),
+                checkpoint_every: cli.checkpoint_every,
+            };
+            let handle = crate::serve::spawn(sketch, src, config)?;
+            // The smoke harness greps this line for the bound port; flush
+            // so a piped stdout delivers it before the daemon blocks.
+            writeln!(out, "listening on {}", handle.addr())?;
+            out.flush()?;
+            let report = handle.join()?;
+            writeln!(
+                out,
+                "drained: {} edges ingested, {} queries served{}",
+                report.edges,
+                report.queries,
+                if report.checkpointed {
+                    ", final checkpoint written"
+                } else {
+                    ""
+                }
+            )?;
+            for e in &report.errors {
+                writeln!(out, "error: {e}")?;
+            }
+            if report.writer_panicked {
+                return Err("a writer thread panicked during ingest".into());
+            }
+        }
     }
     Ok(())
+}
+
+/// The sharded sketch a cold-start `serve` runs: same sizing rules as
+/// [`build_any`]'s threaded arm, but sharded even at `--threads 1`.
+fn build_serve_sketch(cli: &Cli, shards: usize) -> AnySketch {
+    match cli.method {
+        MethodChoice::FreeBS => AnySketch::ShardedFreeBS(ShardedFreeBS::new(
+            cli.memory_bits.max(64 * shards),
+            shards,
+            cli.seed,
+        )),
+        MethodChoice::FreeRS => AnySketch::ShardedFreeRS(ShardedFreeRS::new(
+            (cli.memory_bits / 5).max(64 * shards),
+            shards,
+            cli.seed,
+        )),
+    }
 }
 
 /// All tracked users, heaviest estimate first. `total_cmp` (not

@@ -69,14 +69,16 @@ pub fn detect_format(path: &str) -> std::io::Result<InputFormat> {
 pub fn open_source(
     path: &str,
     force: Option<InputFormat>,
-) -> Result<(Box<dyn EdgeSource>, InputFormat), Box<dyn std::error::Error>> {
+) -> Result<(Box<dyn EdgeSource + Send>, InputFormat), Box<dyn std::error::Error>> {
     let format = match force {
         Some(f) => f,
         None => detect_format(path).map_err(|e| format!("cannot open `{path}`: {e}"))?,
     };
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
     let reader = std::io::BufReader::new(file);
-    let source: Box<dyn EdgeSource> = match format {
+    // `+ Send` so the serve daemon can hand the reader to a writer thread;
+    // both concrete readers are plain owned state over a `File`.
+    let source: Box<dyn EdgeSource + Send> = match format {
         InputFormat::Tsv => Box::new(TsvEdgeSource::new(reader)),
         InputFormat::Fedge => Box::new(FedgeReader::new(reader)?),
     };

@@ -17,7 +17,10 @@
 mod args;
 mod commands;
 mod input;
+pub mod protocol;
+pub mod serve;
 
 pub use args::{Cli, Command, ParseError, USAGE};
 pub use commands::run;
 pub use input::{detect_format, open_source, parse_edge_line, read_edges, InputFormat};
+pub use serve::{ServeConfig, ServeError, ServeReport, ServerHandle};

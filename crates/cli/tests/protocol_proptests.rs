@@ -1,0 +1,137 @@
+//! Property tests for the serve wire protocol: the parser is **total**.
+//! Whatever bytes arrive — random soup, truncated commands, oversized
+//! tokens, embedded NULs, invalid UTF-8 — `parse_request` never panics,
+//! and every rejection renders as a single-line `ERR <code> …` reply the
+//! peer can read back.
+
+use freesketch_cli::protocol::{
+    parse_request, LineReader, LineStatus, Request, MAX_LINE_BYTES, MAX_TOKEN_BYTES, MAX_TOPK,
+};
+use proptest::prelude::*;
+
+/// A parse outcome is acceptable iff it is a well-formed request or a
+/// well-formed error reply: `ERR <kebab-code> …`, one line, no control
+/// characters that would corrupt the line protocol.
+fn check_outcome(line: &[u8]) {
+    match parse_request(line) {
+        Ok(req) => match req {
+            Request::TopK { n } => assert!(n <= MAX_TOPK),
+            Request::Estimate { .. }
+            | Request::Confidence { .. }
+            | Request::Stats
+            | Request::Snapshot { .. }
+            | Request::Shutdown => {}
+        },
+        Err(e) => {
+            let reply = e.to_string();
+            assert!(reply.starts_with("ERR "), "reply `{reply}`");
+            assert!(
+                !reply.contains('\n') && !reply.contains('\r'),
+                "multi-line error reply `{reply}`"
+            );
+            assert!(
+                reply.chars().all(|c| !c.is_control()),
+                "control bytes leaked into reply `{reply:?}`"
+            );
+            let code = reply.split_whitespace().nth(1).unwrap_or("");
+            assert!(
+                !code.is_empty()
+                    && code
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "malformed error code in `{reply}`"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: never a panic, always a typed outcome.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        check_outcome(&bytes);
+    }
+
+    /// Truncations of well-formed commands degrade to typed errors (or
+    /// shorter valid commands), never to panics.
+    #[test]
+    fn truncated_commands_are_typed(
+        cmd_idx in 0usize..6,
+        cut in 0usize..64,
+    ) {
+        let full = [
+            "ESTIMATE #00000000000000ff",
+            "TOPK 10",
+            "CONFIDENCE alice 95",
+            "STATS",
+            "SNAPSHOT /tmp/x.fsnp",
+            "SHUTDOWN",
+        ][cmd_idx];
+        let line = &full.as_bytes()[..cut.min(full.len())];
+        check_outcome(line);
+    }
+
+    /// Oversized tokens and lines are rejected with the right codes and
+    /// never copied wholesale into the reply (the echo is clipped).
+    #[test]
+    fn oversized_input_is_bounded(pad in MAX_TOKEN_BYTES + 1..MAX_TOKEN_BYTES + 200) {
+        let long = "x".repeat(pad);
+        let line = format!("ESTIMATE {long}");
+        if line.len() > MAX_LINE_BYTES {
+            let e = parse_request(line.as_bytes()).expect_err("over line budget");
+            prop_assert!(e.to_string().starts_with("ERR line-too-long"));
+        } else {
+            let e = parse_request(line.as_bytes()).expect_err("over token budget");
+            let reply = e.to_string();
+            prop_assert!(reply.starts_with("ERR token-too-long"), "{reply}");
+            prop_assert!(reply.len() < 128, "unclipped echo: {} bytes", reply.len());
+        }
+        check_outcome(line.as_bytes());
+    }
+
+    /// Wrong arity on every verb is `missing-arg`/`extra-args`/`bad-arg` —
+    /// a reply, not a panic.
+    #[test]
+    fn wrong_arity_is_typed(
+        verb_idx in 0usize..6,
+        args in prop::collection::vec(any::<u64>(), 0..4),
+    ) {
+        let verb = ["ESTIMATE", "TOPK", "CONFIDENCE", "STATS", "SNAPSHOT", "SHUTDOWN"][verb_idx];
+        let mut line = verb.to_string();
+        for a in &args {
+            // Cycle the token shape: bare word, numeric, hex-id.
+            match a % 3 {
+                0 => line.push_str(&format!(" tok{a}")),
+                1 => line.push_str(&format!(" {a}")),
+                _ => line.push_str(&format!(" #{a:x}")),
+            }
+        }
+        check_outcome(line.as_bytes());
+    }
+
+    /// The line framer never panics and never emits a line over budget,
+    /// no matter what bytes flow through it.
+    #[test]
+    fn line_reader_is_total(
+        bytes in prop::collection::vec(any::<u8>(), 0..2000),
+        max in 8usize..128,
+    ) {
+        let mut reader = LineReader::new(&bytes[..], max);
+        let mut out = Vec::new();
+        let mut lines = 0usize;
+        loop {
+            match reader.next_line(&mut out).expect("in-memory reads cannot fail") {
+                LineStatus::Eof => break,
+                LineStatus::Line => {
+                    prop_assert!(out.len() <= max);
+                    check_outcome(&out);
+                }
+                LineStatus::TooLong => {}
+            }
+            lines += 1;
+            prop_assert!(lines <= bytes.len() + 2, "framer failed to make progress");
+        }
+    }
+}

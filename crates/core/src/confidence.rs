@@ -29,6 +29,46 @@ pub struct EstimateWithCi {
     pub upper: f64,
 }
 
+/// A normal-approximation confidence interval derived from the *current*
+/// sampling probability alone — the anytime variant a live query path can
+/// afford when it has no per-edge variance accumulator.
+///
+/// [`ConfidenceTracking`] charges each sampled increment its exact
+/// `(1 − q)/q²` at the `q` in force when it happened; a concurrent sketch
+/// queried mid-stream only knows the current `q(t)`. Since `q` is
+/// non-increasing, pricing all ≈ `n̂·q` sampled increments at the current
+/// `q` gives `Var ≈ n̂ (1 − q)/q` — an upper-biased (conservative)
+/// interval that converges to the tracked one as the stream settles.
+///
+/// Total over its whole input domain: non-finite or negative inputs are
+/// clamped rather than panicking, so a protocol layer can call it on
+/// whatever state it happens to read.
+#[must_use]
+pub fn anytime_ci(estimate: f64, q: f64, z: f64) -> EstimateWithCi {
+    let estimate = if estimate.is_finite() {
+        estimate.max(0.0)
+    } else {
+        0.0
+    };
+    let q = if q.is_finite() {
+        q.clamp(f64::MIN_POSITIVE, 1.0)
+    } else {
+        1.0
+    };
+    let z = if z.is_finite() { z.max(0.0) } else { 0.0 };
+    let std_dev = (estimate * (1.0 - q) / q).sqrt();
+    // `0 × inf` (z clamped to 0 against a denormal-q overflow) is NaN;
+    // a zero z must mean a zero-width interval.
+    let margin = z * std_dev;
+    let margin = if margin.is_nan() { 0.0 } else { margin };
+    EstimateWithCi {
+        estimate,
+        std_dev,
+        lower: (estimate - margin).max(0.0),
+        upper: estimate + margin,
+    }
+}
+
 /// Wraps [`crate::FreeBS`] or [`crate::FreeRS`] with per-user variance
 /// accumulators.
 ///
@@ -233,6 +273,55 @@ mod tests {
     fn bad_z_rejected() {
         let c = ConfidenceTracking::new(FreeBS::new(64, 1));
         let _ = c.estimate_with_ci(1, 0.0);
+    }
+
+    #[test]
+    fn anytime_ci_is_total_and_conservative() {
+        // Exact regime: q = 1 means no sampling noise at all.
+        let exact = anytime_ci(10.0, 1.0, 1.96);
+        assert_eq!(exact.std_dev, 0.0);
+        assert_eq!(exact.lower, 10.0);
+        assert_eq!(exact.upper, 10.0);
+
+        // Sampling regime: interval widens as q drops, lower clamped at 0.
+        let loose = anytime_ci(100.0, 0.25, 1.96);
+        let looser = anytime_ci(100.0, 0.05, 1.96);
+        assert!(looser.std_dev > loose.std_dev);
+        assert!(loose.lower >= 0.0 && loose.upper > loose.estimate);
+
+        // Degenerate inputs are clamped, never a panic or NaN.
+        for ci in [
+            anytime_ci(f64::NAN, 0.5, 1.96),
+            anytime_ci(-3.0, 0.5, 1.96),
+            anytime_ci(50.0, 0.0, 1.96),
+            anytime_ci(50.0, f64::NAN, 1.96),
+            anytime_ci(50.0, 0.5, f64::INFINITY),
+            anytime_ci(50.0, -1.0, -2.0),
+        ] {
+            assert!(ci.estimate.is_finite() && ci.estimate >= 0.0);
+            assert!(!ci.std_dev.is_nan(), "{ci:?}");
+            assert!(ci.lower >= 0.0 && !ci.lower.is_nan(), "{ci:?}");
+            assert!(!ci.upper.is_nan() && ci.lower <= ci.upper, "{ci:?}");
+        }
+    }
+
+    #[test]
+    fn anytime_ci_dominates_tracked_ci_late_in_stream() {
+        // The anytime interval prices every increment at the current
+        // (smallest-so-far) q, so it must be at least as wide as the
+        // exactly-tracked interval over the same stream.
+        let mut c = ConfidenceTracking::new(FreeBS::new(2048, 9));
+        for d in 0..600u64 {
+            c.process(1, d);
+        }
+        let tracked = c.estimate_with_ci(1, 1.96);
+        let anytime = anytime_ci(c.estimate(1), c.inner().q(), 1.96);
+        assert!(
+            anytime.std_dev >= tracked.std_dev * 0.99,
+            "anytime {} vs tracked {}",
+            anytime.std_dev,
+            tracked.std_dev
+        );
     }
 
     #[test]

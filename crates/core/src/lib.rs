@@ -174,7 +174,7 @@ impl serde::Deserialize for IngestTuning {
 pub use concurrent::{
     ConcurrentEstimator, ConcurrentFreeBS, ConcurrentFreeRS, ConcurrentFusedFreeBS,
 };
-pub use confidence::{ConfidenceTracking, EstimateWithCi, SamplingProbability};
+pub use confidence::{anytime_ci, ConfidenceTracking, EstimateWithCi, SamplingProbability};
 pub use cse::Cse;
 pub use engine::{IncrementalZ, QTracker, SketchEngine, ZeroQ};
 pub use freebs::{FreeBS, FusedFreeBS};

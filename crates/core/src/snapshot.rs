@@ -223,6 +223,26 @@ impl AnySketch {
         }
     }
 
+    /// The shared-ingest (`&self`) view of the sharded kinds — the seam
+    /// the serving layer's writer threads ingest through while query
+    /// threads read estimates concurrently. Scalar kinds need `&mut`
+    /// exclusive access and return `None`.
+    #[must_use]
+    pub fn as_concurrent(&self) -> Option<&dyn ConcurrentEstimator> {
+        match self {
+            Self::FreeBS(_) | Self::FreeRS(_) => None,
+            Self::ShardedFreeBS(s) => Some(s),
+            Self::ShardedFreeRS(s) => Some(s),
+        }
+    }
+
+    /// The current sampling probability `q(t)` (minimum across shards for
+    /// the sharded kinds) — the input to anytime confidence intervals.
+    #[must_use]
+    pub fn sampling_q(&self) -> f64 {
+        dispatch!(self, e => e.q())
+    }
+
     /// Drives `src` to exhaustion, checkpointing through `ckpt` at chunk
     /// boundaries (the quiescent points) once at least its interval's
     /// worth of new edges has accumulated, plus a final checkpoint at

@@ -43,7 +43,7 @@ pub use fault::{Fault, FaultReader, FaultWriter};
 pub use fedge::{FedgeError, FedgeReader, FedgeWriter};
 pub use profiles::{DatasetProfile, PROFILES};
 pub use snapshot::SnapshotError;
-pub use source::{EdgeSource, EdgeStreamError, SliceSource};
+pub use source::{CycleSource, EdgeSource, EdgeStreamError, SliceSource};
 pub use synth::{SynthConfig, SynthStream};
 pub use truth::GroundTruth;
 pub use tsv::TsvEdgeSource;

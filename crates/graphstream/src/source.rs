@@ -116,9 +116,99 @@ impl EdgeSource for SliceSource<'_> {
     }
 }
 
+/// An owning source replaying its edges `passes` times over — sustained
+/// ingest for long-running consumers (the serve daemon's writer threads,
+/// stress harnesses) without a backing file, and `Send` so it can cross
+/// into a writer thread, which the borrowing [`SliceSource`] cannot.
+#[derive(Debug, Clone)]
+pub struct CycleSource {
+    edges: Vec<Edge>,
+    passes: u64,
+    pass: u64,
+    pos: usize,
+}
+
+impl CycleSource {
+    /// A source yielding `edges` in order, `passes` times end to end.
+    /// Zero passes (or no edges) is an immediately-exhausted stream.
+    #[must_use]
+    pub fn new(edges: Vec<Edge>, passes: u64) -> Self {
+        Self {
+            edges,
+            passes,
+            pass: 0,
+            pos: 0,
+        }
+    }
+}
+
+impl EdgeSource for CycleSource {
+    fn next_chunk(&mut self, buf: &mut Vec<Edge>, max: usize) -> Result<usize, EdgeStreamError> {
+        buf.clear();
+        let max = max.max(1);
+        if self.edges.is_empty() {
+            return Ok(0);
+        }
+        while buf.len() < max && self.pass < self.passes {
+            let take = (max - buf.len()).min(self.edges.len() - self.pos);
+            buf.extend_from_slice(&self.edges[self.pos..self.pos + take]);
+            self.pos += take;
+            if self.pos == self.edges.len() {
+                self.pos = 0;
+                self.pass += 1;
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        if self.edges.is_empty() || self.pass >= self.passes {
+            return Some(0);
+        }
+        let whole = (self.passes - self.pass - 1) * self.edges.len() as u64;
+        Some(whole + (self.edges.len() - self.pos) as u64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cycle_source_replays_exactly_n_passes() {
+        let edges: Vec<Edge> = (0..5u64).map(|i| Edge::new(i, i + 100)).collect();
+        let mut src = CycleSource::new(edges.clone(), 3);
+        assert_eq!(src.len_hint(), Some(15));
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            // A chunk size that does not divide the stream length, so
+            // chunks straddle pass boundaries.
+            let n = src.next_chunk(&mut buf, 4).expect("infallible");
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf);
+        }
+        assert_eq!(out.len(), 15);
+        let want: Vec<Edge> = edges.iter().cycle().take(15).copied().collect();
+        assert_eq!(out, want);
+        assert_eq!(src.len_hint(), Some(0));
+        // Exhausted stays exhausted.
+        assert_eq!(src.next_chunk(&mut buf, 4).expect("infallible"), 0);
+    }
+
+    #[test]
+    fn cycle_source_degenerate_inputs() {
+        let mut buf = Vec::new();
+        let mut empty = CycleSource::new(Vec::new(), 10);
+        assert_eq!(empty.next_chunk(&mut buf, 8).expect("infallible"), 0);
+        assert_eq!(empty.len_hint(), Some(0));
+
+        let mut zero_pass = CycleSource::new(vec![Edge::new(1, 2)], 0);
+        assert_eq!(zero_pass.next_chunk(&mut buf, 8).expect("infallible"), 0);
+        assert_eq!(zero_pass.len_hint(), Some(0));
+    }
 
     #[test]
     fn slice_source_drains_in_chunks() {

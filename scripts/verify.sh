@@ -173,4 +173,56 @@ grep -q '"layout": "fused"' "$tmp/BENCH_sweep.json" || {
   echo "sweep JSON missing fused-layout runs"; exit 1;
 }
 
+echo "==> serve daemon smoke (socket protocol, port conflict, shutdown drain)"
+./target/release/freesketch serve "$tmp/edges.tsv" --port 0 --threads 2 \
+  --checkpoint "$tmp/serve.fsnp" > "$tmp/serve-out.txt" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$tmp/serve-out.txt")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || {
+  echo "serve daemon never reported its port:"; cat "$tmp/serve-out.txt";
+  kill "$serve_pid" 2> /dev/null || true; exit 1;
+}
+# A second daemon on the taken port must fail fast with a nonzero exit.
+if ./target/release/freesketch serve "$tmp/edges.tsv" --port "$port" > /dev/null 2>&1; then
+  echo "second daemon on a taken port should exit nonzero"; exit 1
+fi
+# Three queries, one malformed line, and a shutdown over bash /dev/tcp.
+exec 3<> "/dev/tcp/127.0.0.1/$port"
+printf 'STATS\nESTIMATE alice\nTOPK 2\nBOGUS\nSHUTDOWN\n' >&3
+read -r reply <&3
+case "$reply" in "OK edges="*) ;; *) echo "bad STATS reply: $reply"; exit 1;; esac
+read -r reply <&3
+case "$reply" in "OK "*) ;; *) echo "bad ESTIMATE reply: $reply"; exit 1;; esac
+read -r reply <&3
+case "$reply" in "OK 2 #"*) ;; *) echo "bad TOPK reply: $reply"; exit 1;; esac
+read -r reply <&3
+case "$reply" in "ERR unknown-command"*) ;; *) echo "bad error reply: $reply"; exit 1;; esac
+read -r reply <&3
+case "$reply" in "OK draining"*) ;; *) echo "bad SHUTDOWN reply: $reply"; exit 1;; esac
+exec 3<&- 3>&-
+wait "$serve_pid" || {
+  echo "serve daemon exited nonzero:"; cat "$tmp/serve-out.txt"; exit 1;
+}
+grep -q "drained:" "$tmp/serve-out.txt" || {
+  echo "serve daemon never printed its drain report:"; cat "$tmp/serve-out.txt"; exit 1;
+}
+# The drain wrote a final checkpoint that restores cleanly.
+test -s "$tmp/serve.fsnp" || { echo "serve left no final checkpoint"; exit 1; }
+./target/release/freesketch restore "$tmp/serve.fsnp" > /dev/null
+
+echo "==> serve latency-under-load smoke (BENCH_serve.json)"
+./target/release/exp_serve --quick --json --out "$tmp/BENCH_serve.json" > /dev/null
+test -s "$tmp/BENCH_serve.json" || { echo "exp_serve wrote no JSON"; exit 1; }
+for key in '"ingest_edges_per_s"' '"query_p50_us"' '"query_p99_us"' \
+           '"verb": "ESTIMATE"' '"verb": "TOPK"' '"available_parallelism"'; do
+  grep -q "$key" "$tmp/BENCH_serve.json" || {
+    echo "BENCH_serve.json missing $key"; exit 1;
+  }
+done
+
 echo "verify: OK"
